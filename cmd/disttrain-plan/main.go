@@ -1,0 +1,93 @@
+// Command disttrain-plan runs the disaggregated model orchestration
+// planner (and the paper's baselines) on a training task and prints
+// the resulting resource allocations and parallelism strategies.
+//
+// Example:
+//
+//	disttrain-plan -model 72b -nodes 162 -batch 1920 -strategy all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disttrain"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "9b", "model preset: 9b, 15b or 72b")
+		nodes     = flag.Int("nodes", 12, "cluster size in 8-GPU nodes")
+		batch     = flag.Int("batch", 128, "global batch size (samples per iteration)")
+		strategy  = flag.String("strategy", "all", "disttrain, megatron, distmm or all")
+		freeze    = flag.String("freeze", "full", "full, all-frozen, encoder-only, llm-only or generator-only")
+	)
+	flag.Parse()
+
+	m, err := modelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := freezeByName(*freeze)
+	if err != nil {
+		fatal(err)
+	}
+	spec, _, err := disttrain.NewSpecFrozen(m, *nodes, *batch, fr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task: %s on %d GPUs, global batch %d, freeze=%s\n\n",
+		m.Name, *nodes*8, *batch, fr.Name)
+
+	type planner struct {
+		name string
+		fn   func(disttrain.Spec) (*disttrain.Plan, error)
+	}
+	planners := []planner{
+		{"disttrain", disttrain.PlanDistTrain},
+		{"megatron", disttrain.PlanMegatron},
+		{"distmm", disttrain.PlanDistMM},
+	}
+	for _, p := range planners {
+		if *strategy != "all" && *strategy != p.name {
+			continue
+		}
+		plan, err := p.fn(spec)
+		if err != nil {
+			fmt.Printf("%s: infeasible: %v\n\n", p.name, err)
+			continue
+		}
+		fmt.Println(plan)
+	}
+}
+
+func modelByName(name string) (disttrain.MLLM, error) {
+	switch strings.ToLower(name) {
+	case "9b", "mllm-9b":
+		return disttrain.MLLM9B(), nil
+	case "15b", "mllm-15b":
+		return disttrain.MLLM15B(), nil
+	case "72b", "mllm-72b":
+		return disttrain.MLLM72B(), nil
+	}
+	return disttrain.MLLM{}, fmt.Errorf("unknown model %q (want 9b, 15b or 72b)", name)
+}
+
+func freezeByName(name string) (disttrain.FreezeSpec, error) {
+	for _, f := range []disttrain.FreezeSpec{
+		disttrain.FullTraining, disttrain.AllFrozen, disttrain.EncoderOnly,
+		disttrain.LLMOnly, disttrain.GeneratorOnly,
+	} {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return disttrain.FreezeSpec{}, fmt.Errorf("unknown freeze setting %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disttrain-plan:", err)
+	os.Exit(1)
+}

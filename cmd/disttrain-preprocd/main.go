@@ -1,0 +1,75 @@
+// Command disttrain-preprocd runs the disaggregated data preprocessing
+// producer: a TCP service that decodes, resizes and packs multimodal
+// samples on CPU, applies both reordering levels, and streams
+// training-ready microbatches to GPU consumers (§5.1).
+//
+// Example:
+//
+//	disttrain-preprocd -addr :7420 -batch 128 -dp 8 -reorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"disttrain/internal/data"
+	"disttrain/internal/preprocess"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7420", "listen address")
+		batch     = flag.Int("batch", 128, "global batch size")
+		dp        = flag.Int("dp", 8, "data-parallel consumer count")
+		micro     = flag.Int("micro", 1, "microbatch size")
+		reorderOn = flag.Bool("reorder", true, "apply Algorithms 1 and 2")
+		stages    = flag.Int("stages", 4, "pipeline stages (for Algorithm 2's interval model)")
+		workers   = flag.Int("workers", 0, "preprocessing worker goroutines (0 = 2*dp)")
+		readahead = flag.Int("readahead", 2, "iterations to prefetch")
+	)
+	flag.Parse()
+
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := preprocess.NewServer(preprocess.Config{
+		Source:         corpus,
+		GlobalBatch:    *batch,
+		DPSize:         *dp,
+		Microbatch:     *micro,
+		Reorder:        *reorderOn,
+		PipelineStages: *stages,
+		Workers:        *workers,
+		Readahead:      *readahead,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("disttrain-preprocd: serving %d-sample batches to %d consumers on %s (reorder=%v)\n",
+		*batch, *dp, ln.Addr(), *reorderOn)
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt)
+	go func() {
+		<-done
+		fmt.Println("\ndisttrain-preprocd: shutting down")
+		ln.Close()
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disttrain-preprocd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command disttrain-sim runs end-to-end training iterations under a
+// chosen orchestration strategy and reports MFU, throughput and the
+// per-iteration time breakdown.
+//
+// Example:
+//
+//	disttrain-sim -model 15b -nodes 12 -batch 64 -iters 5 -strategy disttrain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disttrain"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "9b", "model preset: 9b, 15b or 72b")
+		nodes     = flag.Int("nodes", 12, "cluster size in 8-GPU nodes")
+		batch     = flag.Int("batch", 128, "global batch size")
+		iters     = flag.Int("iters", 3, "iterations to run")
+		strategy  = flag.String("strategy", "disttrain", "disttrain, megatron or distmm")
+		freeze    = flag.String("freeze", "full", "freeze setting (§7.3)")
+		noReorder = flag.Bool("no-reorder", false, "disable dual-level data reordering")
+		colocate  = flag.Bool("colocate-preprocess", false, "co-locate preprocessing with training")
+		ckpt      = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = off)")
+	)
+	flag.Parse()
+
+	m, err := modelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := freezeByName(*freeze)
+	if err != nil {
+		fatal(err)
+	}
+	spec, corpus, err := disttrain.NewSpecFrozen(m, *nodes, *batch, fr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var plan *disttrain.Plan
+	var cfg disttrain.TrainConfig
+	switch *strategy {
+	case "disttrain":
+		plan, err = disttrain.PlanDistTrain(spec)
+		if err == nil {
+			cfg = disttrain.NewTrainConfig(spec, plan, corpus)
+		}
+	case "megatron":
+		plan, err = disttrain.PlanMegatron(spec)
+		if err == nil {
+			cfg = disttrain.NewMegatronTrainConfig(spec, plan, corpus)
+		}
+	case "distmm":
+		plan, err = disttrain.PlanDistMM(spec)
+		if err == nil {
+			cfg = disttrain.NewTrainConfig(spec, plan, corpus)
+		}
+	default:
+		err = fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *noReorder {
+		cfg.Reorder = false
+	}
+	if *colocate {
+		cfg.DisaggregatedPreprocess = false
+	}
+	cfg.CheckpointEvery = *ckpt
+
+	fmt.Println(plan)
+	res, err := disttrain.Train(cfg, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	for _, it := range res.Iterations {
+		fmt.Printf("iter %2d: %7.3fs  [%s]  bubble %4.1f%%  straggler spread %4.1f%%  MFU %4.1f%%\n",
+			it.Index, it.Breakdown.Total(), it.Breakdown, 100*it.BubbleFrac,
+			100*it.StragglerSpread, 100*it.MFU)
+	}
+	fmt.Printf("\n%s on %d GPUs: mean iter %.3fs, MFU %.1f%%, %.2fM tokens/s",
+		res.Strategy, res.GPUs, res.MeanIterTime, 100*res.MFU, res.TokensPerSec/1e6)
+	if res.CheckpointsSaved > 0 {
+		fmt.Printf(", %d checkpoints saved", res.CheckpointsSaved)
+	}
+	fmt.Println()
+}
+
+func modelByName(name string) (disttrain.MLLM, error) {
+	switch strings.ToLower(name) {
+	case "9b", "mllm-9b":
+		return disttrain.MLLM9B(), nil
+	case "15b", "mllm-15b":
+		return disttrain.MLLM15B(), nil
+	case "72b", "mllm-72b":
+		return disttrain.MLLM72B(), nil
+	}
+	return disttrain.MLLM{}, fmt.Errorf("unknown model %q (want 9b, 15b or 72b)", name)
+}
+
+func freezeByName(name string) (disttrain.FreezeSpec, error) {
+	for _, f := range []disttrain.FreezeSpec{
+		disttrain.FullTraining, disttrain.AllFrozen, disttrain.EncoderOnly,
+		disttrain.LLMOnly, disttrain.GeneratorOnly,
+	} {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return disttrain.FreezeSpec{}, fmt.Errorf("unknown freeze setting %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disttrain-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Package disttrain is a Go reproduction of "DistTrain: Addressing
+// Model and Data Heterogeneity with Disaggregated Training for
+// Multimodal Large Language Models" (Zhang et al., SIGCOMM 2025).
+//
+// DistTrain trains multimodal LLMs — modality encoder, LLM backbone and
+// modality generator — with two disaggregation techniques:
+//
+//   - disaggregated model orchestration (§4) gives each module its own
+//     GPU allocation and parallelism strategy, chosen by an adaptive
+//     algorithm that solves the per-strategy convex subproblems exactly;
+//   - disaggregated data preprocessing (§5) moves decode/resize/pack
+//     work to dedicated CPU nodes and exploits the position to reorder
+//     samples — Algorithm 1 balances data-parallel groups, Algorithm 2
+//     fills 1F1B pipeline intervals — without touching convergence
+//     semantics.
+//
+// This package is the public facade: it wires the calibrated cost
+// model, the planners, and the training runtime together. GPU kernels
+// are simulated by a production-calibrated analytic model (see
+// DESIGN.md for the substitution argument); scheduling, reordering,
+// brokered communication, preprocessing and checkpointing execute for
+// real.
+//
+// Quickstart:
+//
+//	spec, corpus, err := disttrain.NewSpec(disttrain.MLLM9B(), 12, 128)
+//	plan, err := disttrain.PlanDistTrain(spec)
+//	result, err := disttrain.Train(disttrain.NewTrainConfig(spec, plan, corpus), 5)
+//	fmt.Printf("MFU %.1f%%\n", 100*result.MFU)
+package disttrain
+
+import (
+	"disttrain/internal/cluster"
+	"disttrain/internal/data"
+	"disttrain/internal/experiments"
+	"disttrain/internal/model"
+	"disttrain/internal/orchestrator"
+	"disttrain/internal/profiler"
+	"disttrain/internal/trainer"
+)
+
+// Re-exported core types. The internal packages carry the full APIs;
+// these aliases are the supported surface.
+type (
+	// Cluster describes the GPU fleet (nodes, NVLink, RDMA fabric).
+	Cluster = cluster.Cluster
+	// MLLM is a multimodal model: encoder + projectors + backbone +
+	// generator (+ frozen VAE).
+	MLLM = model.MLLM
+	// Module identifies encoder, backbone or generator.
+	Module = model.Module
+	// FreezeSpec selects which modules are frozen (§7.3).
+	FreezeSpec = model.FreezeSpec
+	// SampleShape characterises one sample's modality composition.
+	SampleShape = model.SampleShape
+	// Corpus is the synthetic LAION-400M-like dataset.
+	Corpus = data.Corpus
+	// Sample is one packed multimodal training sample.
+	Sample = data.Sample
+	// Spec is an orchestration problem: cluster + model + batch +
+	// calibrated profiler.
+	Spec = orchestrator.Spec
+	// Plan is a complete orchestration decision for the three modules.
+	Plan = orchestrator.Plan
+	// TrainConfig configures the training runtime.
+	TrainConfig = trainer.Config
+	// TrainResult aggregates a training run's measurements.
+	TrainResult = trainer.Result
+	// ExperimentTable is one regenerated paper table/figure.
+	ExperimentTable = experiments.Table
+)
+
+// Model presets of the paper's evaluation (§7).
+func MLLM9B() MLLM  { return model.MLLM9B() }
+func MLLM15B() MLLM { return model.MLLM15B() }
+func MLLM72B() MLLM { return model.MLLM72B() }
+
+// Freeze settings of §7.3.
+var (
+	FullTraining  = model.FullTraining
+	AllFrozen     = model.AllFrozen
+	EncoderOnly   = model.EncoderOnly
+	LLMOnly       = model.LLMOnly
+	GeneratorOnly = model.GeneratorOnly
+)
+
+// ProductionCluster returns the paper's evaluation fleet shape: nodes
+// of eight Ampere-class GPUs on NVLink with 4x200 Gbps RoCEv2.
+func ProductionCluster(nodes int) Cluster { return cluster.Production(nodes) }
+
+// NewCorpus returns the deterministic synthetic corpus calibrated to
+// the Figure 5 distributions.
+func NewCorpus() (*Corpus, error) { return data.NewCorpus(data.LAION400M()) }
+
+// NewSpec assembles a calibrated orchestration spec: a production
+// cluster of the given node count, the model, the global batch size,
+// a profiler calibrated on the synthetic corpus, and full training.
+// Use NewSpecFrozen for the §7.3 settings.
+func NewSpec(m MLLM, nodes, globalBatch int) (Spec, *Corpus, error) {
+	return NewSpecFrozen(m, nodes, globalBatch, FullTraining)
+}
+
+// NewSpecFrozen is NewSpec with an explicit freeze setting.
+func NewSpecFrozen(m MLLM, nodes, globalBatch int, freeze FreezeSpec) (Spec, *Corpus, error) {
+	cl := cluster.Production(nodes)
+	opts := profiler.DefaultOptions(cl, m)
+	opts.Freeze = freeze
+	p, err := profiler.New(opts)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	corpus, err := NewCorpus()
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	if err := p.Calibrate(corpus, 300); err != nil {
+		return Spec{}, nil, err
+	}
+	return Spec{
+		Cluster:     cl,
+		Model:       m,
+		GlobalBatch: globalBatch,
+		Microbatch:  1,
+		Profiler:    p,
+		VPP:         1,
+	}, corpus, nil
+}
+
+// PlanDistTrain runs the adaptive disaggregated model orchestration
+// (§4.3) and returns the optimal plan.
+func PlanDistTrain(s Spec) (*Plan, error) { return orchestrator.PlanDistTrain(s) }
+
+// PlanMegatron returns the monolithic Megatron-LM baseline plan (§2.1).
+func PlanMegatron(s Spec) (*Plan, error) { return orchestrator.PlanMegatron(s) }
+
+// PlanDistMM returns the DistMM* baseline plan (§7.2).
+func PlanDistMM(s Spec) (*Plan, error) { return orchestrator.PlanDistMM(s) }
+
+// NewTrainConfig returns the production DistTrain configuration: data
+// reordering, disaggregated preprocessing and asynchronous inter-unit
+// sends all enabled.
+func NewTrainConfig(spec Spec, plan *Plan, corpus *Corpus) TrainConfig {
+	return trainer.DistTrainConfig(spec, plan, corpus)
+}
+
+// NewMegatronTrainConfig returns the monolithic baseline runtime
+// configuration.
+func NewMegatronTrainConfig(spec Spec, plan *Plan, corpus *Corpus) TrainConfig {
+	return trainer.MegatronConfig(spec, plan, corpus)
+}
+
+// Train executes n iterations under the configuration and aggregates
+// MFU, throughput and per-iteration breakdowns.
+func Train(cfg TrainConfig, n int) (*TrainResult, error) {
+	rt, err := trainer.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	return rt.Run(n)
+}
+
+// Experiment regenerates one paper table/figure by ID (fig3, fig5,
+// fig13..fig19, fig22, table2, table3). quick shrinks workloads for
+// smoke runs.
+func Experiment(id string, quick bool) (*ExperimentTable, error) {
+	fn, ok := experiments.Registry[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	scale := experiments.Full
+	if quick {
+		scale = experiments.Quick
+	}
+	return fn(scale)
+}
+
+// ExperimentIDs lists the regenerable experiments in paper order.
+func ExperimentIDs() []string { return append([]string(nil), experiments.Order...) }
+
+// UnknownExperimentError reports a bad experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "disttrain: unknown experiment " + e.ID
+}

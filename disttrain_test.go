@@ -1,0 +1,81 @@
+package disttrain
+
+import (
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	spec, corpus, err := NewSpec(MLLM9B(), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalGPUs() > 32 {
+		t.Fatalf("plan exceeds fleet: %d GPUs", plan.TotalGPUs())
+	}
+	res, err := Train(NewTrainConfig(spec, plan, corpus), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFU <= 0 || res.TokensPerSec <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	spec, corpus, err := NewSpec(MLLM9B(), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := PlanMegatron(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(NewMegatronTrainConfig(spec, mg, corpus), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanDistMM(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFrozen(t *testing.T) {
+	spec, corpus, err := NewSpecFrozen(MLLM9B(), 4, 32, LLMOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(NewTrainConfig(spec, plan, corpus), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFU <= 0 {
+		t.Fatal("frozen run produced no MFU")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	if _, err := Experiment("nope", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	tb, err := Experiment("table2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("table2 rows = %d", len(tb.Rows))
+	}
+	if out := tb.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,57 @@
+// Frozen: the §7.3 case study — multimodal LLM training with frozen
+// modules (projector-only, encoder-only, LLM-only, generator-only),
+// showing how DistTrain re-orchestrates resources per setting while
+// Megatron-LM's monolithic allocation cannot adapt.
+//
+//	go run ./examples/frozen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttrain"
+)
+
+func main() {
+	m := disttrain.MLLM9B()
+	settings := []disttrain.FreezeSpec{
+		disttrain.AllFrozen,
+		disttrain.EncoderOnly,
+		disttrain.LLMOnly,
+		disttrain.GeneratorOnly,
+	}
+	fmt.Printf("%-16s %-26s %-13s %-13s %s\n",
+		"setting", "DistTrain GPUs (E/B/G)", "DistTrain MFU", "Megatron MFU", "ratio")
+	for _, freeze := range settings {
+		spec, corpus, err := disttrain.NewSpecFrozen(m, 12, 128, freeze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dtPlan, err := disttrain.PlanDistTrain(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgPlan, err := disttrain.PlanMegatron(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt, err := disttrain.Train(disttrain.NewTrainConfig(spec, dtPlan, corpus), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mg, err := disttrain.Train(disttrain.NewMegatronTrainConfig(spec, mgPlan, corpus), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc := fmt.Sprintf("%d / %d / %d",
+			dtPlan.Modules[0].GPUs(), dtPlan.Modules[1].GPUs(), dtPlan.Modules[2].GPUs())
+		fmt.Printf("%-16s %-26s %-13s %-13s %.2fx\n",
+			freeze.Name, alloc,
+			fmt.Sprintf("%.1f%%", 100*dt.MFU),
+			fmt.Sprintf("%.1f%%", 100*mg.MFU),
+			dt.MFU/mg.MFU)
+	}
+	fmt.Println("\nDistTrain shifts GPUs toward whichever module still trains;")
+	fmt.Println("the monolithic baseline keeps its static allocation (Figures 18-19).")
+}

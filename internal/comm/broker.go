@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Message is one unit of inter-parallelism-unit traffic: the activation
+// (or gradient) chunk of one microbatch, produced by one tensor-parallel
+// part of an upstream boundary stage.
+type Message struct {
+	// Seq is the global microbatch sequence number.
+	Seq uint64
+	// Part is the sender's index within its TP group.
+	Part int
+	// Payload carries the tensor bytes. The broker re-chunks payloads
+	// when upstream and downstream TP widths differ.
+	Payload []byte
+}
+
+// Broker bridges pipeline-parallel communication between two
+// parallelism units (§6). Each broker owns the microbatches whose
+// sequence number is congruent to its ID modulo the broker count
+// (= gcd of the two DP sizes, so the assignment is consistent on both
+// sides). For every owned microbatch it concentrates the upstream TP
+// parts, re-splits the bytes into the downstream TP width, and delivers
+// them in sequence order — "concentrating and scattering data as
+// needed, while preserving data order".
+//
+// Sends into the broker are asynchronous up to the channel buffer,
+// mirroring DistTrain's replacement of Megatron-LM's synchronous
+// batched send/receive with discrete asynchronous operations.
+type Broker struct {
+	ID     int
+	Stride int // total brokers between the two units
+	UpDP   int // upstream data-parallel size
+	DownDP int // downstream data-parallel size
+	UpTP   int // upstream TP width (parts per microbatch)
+	DownTP int // downstream TP width
+
+	// upstream[dp][part] carries messages from upstream boundary GPUs.
+	upstream [][]chan Message
+	// downstream[dp][part] delivers messages to downstream boundary GPUs.
+	downstream [][]chan Message
+}
+
+// Fabric is the set of brokers between two adjacent units, together
+// with the channel grids the unit boundary ranks attach to.
+type Fabric struct {
+	Brokers []*Broker
+	// In is indexed [upstreamDP][upstreamTP]; boundary stages send here.
+	In [][]chan Message
+	// Out is indexed [downstreamDP][downstreamTP]; downstream first
+	// stages receive here.
+	Out [][]chan Message
+}
+
+// NewFabric wires a broker fabric between an upstream boundary of
+// upDP x upTP senders and a downstream boundary of downDP x downTP
+// receivers, with the given number of brokers (use parallel.BrokerCount
+// = gcd(upDP, downDP)) and per-channel buffer depth.
+func NewFabric(brokers, upDP, upTP, downDP, downTP, buffer int) (*Fabric, error) {
+	switch {
+	case brokers <= 0:
+		return nil, fmt.Errorf("comm: broker count %d must be positive", brokers)
+	case upDP%brokers != 0 || downDP%brokers != 0:
+		return nil, fmt.Errorf("comm: %d brokers must divide both DP sizes (%d, %d)", brokers, upDP, downDP)
+	case upTP <= 0 || downTP <= 0:
+		return nil, fmt.Errorf("comm: TP widths must be positive")
+	}
+	f := &Fabric{
+		In:  makeGrid(upDP, upTP, buffer),
+		Out: makeGrid(downDP, downTP, buffer),
+	}
+	for b := 0; b < brokers; b++ {
+		f.Brokers = append(f.Brokers, &Broker{
+			ID: b, Stride: brokers,
+			UpDP: upDP, DownDP: downDP,
+			UpTP: upTP, DownTP: downTP,
+			upstream:   f.In,
+			downstream: f.Out,
+		})
+	}
+	return f, nil
+}
+
+func makeGrid(dp, tp, buffer int) [][]chan Message {
+	g := make([][]chan Message, dp)
+	for d := range g {
+		g[d] = make([]chan Message, tp)
+		for t := range g[d] {
+			g[d][t] = make(chan Message, buffer)
+		}
+	}
+	return g
+}
+
+// Run processes microbatches owned by this broker until totalSeqs
+// microbatches have been routed or the context is cancelled. It is safe
+// to run all brokers of a fabric concurrently: they own disjoint
+// sequence numbers and disjoint channel subsets on each side (ownership
+// dp = seq mod DP is congruent to seq mod brokers on both sides).
+func (b *Broker) Run(ctx context.Context, totalSeqs uint64) error {
+	for seq := uint64(b.ID); seq < totalSeqs; seq += uint64(b.Stride) {
+		srcDP := int(seq % uint64(b.UpDP))
+		dstDP := int(seq % uint64(b.DownDP))
+
+		// Concentrate: one part from each upstream TP channel. Parts
+		// arrive in channel order per sender; sequence numbers must
+		// match because each DP rank emits its microbatches in order.
+		parts := make([][]byte, b.UpTP)
+		total := 0
+		for p := 0; p < b.UpTP; p++ {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case m, ok := <-b.upstream[srcDP][p]:
+				if !ok {
+					return fmt.Errorf("comm: broker %d: upstream[%d][%d] closed at seq %d", b.ID, srcDP, p, seq)
+				}
+				if m.Seq != seq {
+					return fmt.Errorf("comm: broker %d: upstream[%d][%d] sent seq %d, want %d (order violated)",
+						b.ID, srcDP, p, m.Seq, seq)
+				}
+				parts[p] = m.Payload
+				total += len(m.Payload)
+			}
+		}
+		payload := concat(parts, total)
+
+		// Scatter: re-chunk into the downstream TP width and deliver in
+		// part order.
+		chunks := split(payload, b.DownTP)
+		for q := 0; q < b.DownTP; q++ {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case b.downstream[dstDP][q] <- Message{Seq: seq, Part: q, Payload: chunks[q]}:
+			}
+		}
+	}
+	return nil
+}
+
+// RunAll runs every broker of the fabric concurrently and returns the
+// first error.
+func (f *Fabric) RunAll(ctx context.Context, totalSeqs uint64) error {
+	errc := make(chan error, len(f.Brokers))
+	for _, b := range f.Brokers {
+		go func(b *Broker) { errc <- b.Run(ctx, totalSeqs) }(b)
+	}
+	var first error
+	for range f.Brokers {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Send is a convenience for boundary ranks: it enqueues one part of one
+// microbatch, blocking only when the buffer is full (asynchronous send).
+func (f *Fabric) Send(ctx context.Context, dp, part int, seq uint64, payload []byte) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case f.In[dp][part] <- Message{Seq: seq, Part: part, Payload: payload}:
+		return nil
+	}
+}
+
+// Recv receives the next microbatch part for a downstream boundary rank.
+func (f *Fabric) Recv(ctx context.Context, dp, part int) (Message, error) {
+	select {
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	case m := <-f.Out[dp][part]:
+		return m, nil
+	}
+}
+
+func concat(parts [][]byte, total int) []byte {
+	out := make([]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// split divides b into n contiguous chunks whose sizes differ by at
+// most one byte; order is preserved under re-concatenation.
+func split(b []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	base := len(b) / n
+	rem := len(b) % n
+	off := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = b[off : off+size]
+		off += size
+	}
+	return out
+}

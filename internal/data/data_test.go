@@ -1,0 +1,268 @@
+package data
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"disttrain/internal/model"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := NewCorpus(LAION400M())
+	if err != nil {
+		t.Fatalf("NewCorpus: %v", err)
+	}
+	return c
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := LAION400M()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.SeqLen = 0 },
+		func(s *Spec) { s.TextSigma = -1 },
+		func(s *Spec) { s.ResMedian = 0 },
+		func(s *Spec) { s.MinResolution = 4 },
+		func(s *Spec) { s.MaxResolution = 32 },
+		func(s *Spec) { s.GenImageFraction = 1.5 },
+		func(s *Spec) { s.MaxImages = 0 },
+	}
+	for i, mutate := range bad {
+		s := LAION400M()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad spec", i)
+		}
+	}
+}
+
+func TestSamplesPackExactly(t *testing.T) {
+	c := testCorpus(t)
+	for i := int64(0); i < 500; i++ {
+		s := c.Sample(i)
+		total := 0
+		for _, ss := range s.Subsequences {
+			if ss.Tokens <= 0 {
+				t.Fatalf("sample %d has empty subsequence", i)
+			}
+			total += ss.Tokens
+		}
+		if total != c.Spec().SeqLen {
+			t.Fatalf("sample %d packs %d tokens, want %d", i, total, c.Spec().SeqLen)
+		}
+		if s.TextTokens()+s.TotalImageTokens() != c.Spec().SeqLen {
+			t.Fatalf("sample %d modality split inconsistent", i)
+		}
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	c1 := testCorpus(t)
+	c2 := testCorpus(t)
+	for i := int64(0); i < 100; i++ {
+		a, b := c1.Sample(i), c2.Sample(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sample %d not deterministic", i)
+		}
+	}
+	// A different seed must change the corpus.
+	spec := LAION400M()
+	spec.Seed++
+	c3, _ := NewCorpus(spec)
+	same := 0
+	for i := int64(0); i < 100; i++ {
+		if reflect.DeepEqual(c1.Sample(i), c3.Sample(i)) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical samples", same)
+	}
+}
+
+// Figure 5: all three distributions must be right-skewed with the
+// paper's supports.
+func TestFigure5Distributions(t *testing.T) {
+	c := testCorpus(t)
+	ch := Characterize(c, 2000)
+
+	if sk := ch.TextSkewness(); sk < 0.8 {
+		t.Errorf("text subsequence skewness = %.2f, want strongly right-skewed", sk)
+	}
+	if sk := ch.ImageSkewness(); sk < 0.8 {
+		t.Errorf("image subsequence skewness = %.2f, want strongly right-skewed", sk)
+	}
+	if sk := ch.CountSkewness(); sk < 0.3 {
+		t.Errorf("image count skewness = %.2f, want right-skewed", sk)
+	}
+
+	// Supports match the Figure 5 axes.
+	if m := ch.TextSizes.Mean(); m < 8 || m > 64 {
+		t.Errorf("text subsequence mean %.1f outside plausible Fig 5(a) range", m)
+	}
+	if m := ch.ImageSizes.Mean(); m < 256 || m > 2048 {
+		t.Errorf("image subsequence mean %.1f outside plausible Fig 5(b) range", m)
+	}
+	if m := ch.ImageCounts.Mean(); m < 2 || m > 16 {
+		t.Errorf("images per sample mean %.1f outside plausible Fig 5(c) range", m)
+	}
+}
+
+func TestImageTokensAreValidPatchCounts(t *testing.T) {
+	c := testCorpus(t)
+	for i := int64(0); i < 300; i++ {
+		for _, ss := range c.Sample(i).Subsequences {
+			if ss.Modality != Image {
+				continue
+			}
+			if ss.Resolution%model.PatchSize != 0 {
+				t.Fatalf("sample %d: resolution %d not on patch grid", i, ss.Resolution)
+			}
+			if got := model.ImageTokens(ss.Resolution); got != ss.Tokens {
+				t.Fatalf("sample %d: tokens %d != ImageTokens(%d)=%d", i, ss.Tokens, ss.Resolution, got)
+			}
+			if ss.Tokens > 4096 {
+				t.Fatalf("image subsequence exceeds Fig 5(b) support: %d", ss.Tokens)
+			}
+		}
+	}
+}
+
+func TestGenImagesBounded(t *testing.T) {
+	c := testCorpus(t)
+	sawGen := false
+	for i := int64(0); i < 500; i++ {
+		s := c.Sample(i)
+		if s.GenImages > s.NumImages() {
+			t.Fatalf("sample %d: GenImages %d > NumImages %d", i, s.GenImages, s.NumImages())
+		}
+		if s.GenImages > 0 {
+			sawGen = true
+		}
+	}
+	if !sawGen {
+		t.Error("no sample had generation targets; generator would be idle")
+	}
+}
+
+func TestPixelBytesScale(t *testing.T) {
+	// §2.3: text is kilobytes, images are megabytes.
+	c := testCorpus(t)
+	var withImages int64
+	for i := int64(0); i < 100; i++ {
+		s := c.Sample(i)
+		if s.NumImages() >= 4 {
+			withImages = s.PixelBytes()
+			break
+		}
+	}
+	if withImages < 1<<20 {
+		t.Errorf("multi-image sample payload = %d bytes, want megabytes", withImages)
+	}
+}
+
+func TestBatchAndGlobalBatch(t *testing.T) {
+	c := testCorpus(t)
+	b := c.Batch(10, 5)
+	if len(b) != 5 {
+		t.Fatalf("Batch returned %d samples", len(b))
+	}
+	for i, s := range b {
+		if s.Index != int64(10+i) {
+			t.Errorf("batch sample %d has index %d", i, s.Index)
+		}
+	}
+	g := c.GlobalBatch(3, 4) // samples 12..15
+	if g[0].Index != 12 || g[3].Index != 15 {
+		t.Errorf("GlobalBatch indices wrong: %d..%d", g[0].Index, g[3].Index)
+	}
+	if !reflect.DeepEqual(c.Sample(12), g[0]) {
+		t.Error("GlobalBatch sample differs from direct Sample")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	dens := h.Density()
+	for i, d := range dens {
+		if math.Abs(d-0.1) > 1e-9 {
+			t.Fatalf("bin %d density %g, want 0.1", i, d)
+		}
+	}
+	if h.Mean() != 49.5 {
+		t.Errorf("Mean = %g, want 49.5", h.Mean())
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(500)
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Errorf("edge bins = %d,%d, want 11,11", h.Counts[0], h.Counts[9])
+	}
+	if out := h.Render("test", 20); len(out) == 0 {
+		t.Error("Render produced nothing")
+	}
+}
+
+func TestSkewnessSigns(t *testing.T) {
+	rightSkewed := []int{1, 1, 1, 2, 2, 3, 10, 50}
+	if Skewness(rightSkewed) <= 0 {
+		t.Error("right-skewed data should have positive skewness")
+	}
+	symmetric := []int{1, 2, 3, 4, 5, 6, 7}
+	if math.Abs(Skewness(symmetric)) > 0.01 {
+		t.Error("symmetric data should have ~zero skewness")
+	}
+	if Skewness([]int{5}) != 0 || Skewness(nil) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []int{9, 1, 5, 3, 7}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("P0 = %d", got)
+	}
+	if got := Percentile(vals, 100); got != 9 {
+		t.Errorf("P100 = %d", got)
+	}
+	if got := Percentile(vals, 50); got != 5 {
+		t.Errorf("P50 = %d", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	// Input must not be mutated.
+	if !reflect.DeepEqual(vals, []int{9, 1, 5, 3, 7}) {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: every sample, at any index, packs exactly SeqLen tokens and
+// respects the image cap.
+func TestSampleInvariants(t *testing.T) {
+	c := testCorpus(t)
+	f := func(idx int64) bool {
+		if idx < 0 {
+			idx = -idx
+		}
+		s := c.Sample(idx)
+		total := 0
+		for _, ss := range s.Subsequences {
+			total += ss.Tokens
+		}
+		return total == c.Spec().SeqLen &&
+			s.NumImages() <= c.Spec().MaxImages &&
+			s.GenImages <= s.NumImages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

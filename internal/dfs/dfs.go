@@ -1,0 +1,245 @@
+// Package dfs is the distributed file system substrate of §3: training
+// data and model checkpoints live on a DFS; DistTrain "adopts a
+// dedicated process to periodically and asynchronously save model
+// checkpoints... for fault tolerance" and "handles failures by
+// automatically recovering the training from the latest model
+// checkpoint" (§6). The store is in-memory with a bandwidth/latency
+// model so the trainer can charge realistic (simulated) durations while
+// the checkpoint manager exercises real concurrency.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is a simulated distributed file system.
+type FS struct {
+	// WriteBps and ReadBps are per-client bandwidths in bytes/s.
+	WriteBps, ReadBps float64
+	// Latency is the per-operation metadata latency in seconds.
+	Latency float64
+
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// New returns a DFS with production-like characteristics: a few GB/s
+// per client and millisecond metadata operations.
+func New() *FS {
+	return &FS{WriteBps: 3e9, ReadBps: 5e9, Latency: 2e-3, files: map[string][]byte{}}
+}
+
+// Write stores a file and returns the simulated transfer duration.
+func (f *FS) Write(name string, data []byte) (float64, error) {
+	if name == "" {
+		return 0, errors.New("dfs: empty file name")
+	}
+	stored := append([]byte(nil), data...)
+	f.mu.Lock()
+	f.files[name] = stored
+	f.mu.Unlock()
+	return f.Latency + float64(len(data))/f.WriteBps, nil
+}
+
+// Read fetches a file and its simulated transfer duration.
+func (f *FS) Read(name string) ([]byte, float64, error) {
+	f.mu.RLock()
+	data, ok := f.files[name]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("dfs: %s not found", name)
+	}
+	out := append([]byte(nil), data...)
+	return out, f.Latency + float64(len(out))/f.ReadBps, nil
+}
+
+// List returns file names with the given prefix, sorted.
+func (f *FS) List(prefix string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []string
+	for name := range f.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file (idempotent).
+func (f *FS) Delete(name string) {
+	f.mu.Lock()
+	delete(f.files, name)
+	f.mu.Unlock()
+}
+
+// Checkpoint is one saved training state.
+type Checkpoint struct {
+	Step  int
+	State []byte
+}
+
+// CheckpointManager saves checkpoints asynchronously on a dedicated
+// goroutine (§3's "dedicated process") and recovers the latest on
+// demand. Saves never block training: if the writer is still busy when
+// the next save arrives, the new state replaces the pending one (only
+// the freshest state matters for recovery).
+type CheckpointManager struct {
+	fs     *FS
+	prefix string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending is the freshest unsaved state; saving marks an in-flight
+	// write.
+	pending *Checkpoint
+	saving  bool
+	// lastDuration is the simulated duration of the most recent write.
+	lastDuration float64
+	saved        int
+	wake         chan struct{}
+	done         chan struct{}
+	closed       bool
+}
+
+// NewCheckpointManager starts the background writer.
+func NewCheckpointManager(fs *FS, prefix string) *CheckpointManager {
+	m := &CheckpointManager{
+		fs:     fs,
+		prefix: prefix,
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	go m.loop()
+	return m
+}
+
+func (m *CheckpointManager) loop() {
+	defer close(m.done)
+	for range m.wake {
+		for {
+			m.mu.Lock()
+			ck := m.pending
+			m.pending = nil
+			if ck == nil {
+				m.saving = false
+				m.cond.Broadcast()
+				m.mu.Unlock()
+				break
+			}
+			m.saving = true
+			m.mu.Unlock()
+
+			name := fmt.Sprintf("%s/ckpt-%08d", m.prefix, ck.Step)
+			d, err := m.fs.Write(name, encode(ck))
+			m.mu.Lock()
+			if err == nil {
+				m.lastDuration = d
+				m.saved++
+			}
+			m.mu.Unlock()
+		}
+	}
+	m.mu.Lock()
+	m.saving = false
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Flush blocks until every enqueued checkpoint has reached the DFS.
+func (m *CheckpointManager) Flush() {
+	m.mu.Lock()
+	for m.pending != nil || m.saving {
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Save enqueues a checkpoint without blocking. A save already in
+// flight continues; a queued-but-unstarted save is superseded.
+func (m *CheckpointManager) Save(ck Checkpoint) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errors.New("dfs: checkpoint manager closed")
+	}
+	m.pending = &ck
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Saved returns how many checkpoints reached the DFS.
+func (m *CheckpointManager) Saved() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saved
+}
+
+// LastDuration returns the simulated duration of the most recent
+// completed save; the trainer uses it to decide whether asynchronous
+// saving ever backs up behind the iteration cadence.
+func (m *CheckpointManager) LastDuration() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastDuration
+}
+
+// Close stops the writer after draining pending work.
+func (m *CheckpointManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.wake)
+	<-m.done
+}
+
+// Latest recovers the newest checkpoint from the DFS — the §6 failure
+// recovery path.
+func (m *CheckpointManager) Latest() (Checkpoint, error) {
+	names := m.fs.List(m.prefix + "/ckpt-")
+	if len(names) == 0 {
+		return Checkpoint{}, errors.New("dfs: no checkpoints")
+	}
+	data, _, err := m.fs.Read(names[len(names)-1])
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return decode(data)
+}
+
+// encode/decode use a trivial length-prefixed layout: 8-byte step then
+// the state.
+func encode(ck *Checkpoint) []byte {
+	out := make([]byte, 8+len(ck.State))
+	step := uint64(ck.Step)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(step >> (8 * i))
+	}
+	copy(out[8:], ck.State)
+	return out
+}
+
+func decode(data []byte) (Checkpoint, error) {
+	if len(data) < 8 {
+		return Checkpoint{}, errors.New("dfs: corrupt checkpoint")
+	}
+	var step uint64
+	for i := 0; i < 8; i++ {
+		step |= uint64(data[i]) << (8 * i)
+	}
+	return Checkpoint{Step: int(step), State: append([]byte(nil), data[8:]...)}, nil
+}

@@ -1,0 +1,128 @@
+// Package metrics computes the evaluation quantities of §7: Model
+// FLOPs Utilization (MFU), training throughput in tokens per second,
+// and iteration-time breakdowns, plus small summary-statistics helpers
+// shared by the experiment harnesses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MFU returns the Model FLOPs Utilization: the fraction of the fleet's
+// peak FLOP/s spent executing model FLOPs. flops is the model compute
+// actually executed for the iteration (forward plus whatever backward
+// the freeze setting requires), gpus the allocated accelerator count,
+// peak the per-GPU peak FLOP/s and iterTime the iteration seconds.
+func MFU(flops float64, gpus int, peak, iterTime float64) float64 {
+	if gpus <= 0 || peak <= 0 || iterTime <= 0 {
+		return 0
+	}
+	return flops / (float64(gpus) * peak * iterTime)
+}
+
+// Throughput returns training tokens per second: globalBatch sequences
+// of seqLen tokens per iteration.
+func Throughput(globalBatch, seqLen int, iterTime float64) float64 {
+	if iterTime <= 0 {
+		return 0
+	}
+	return float64(globalBatch) * float64(seqLen) / iterTime
+}
+
+// Breakdown decomposes one training iteration (§3's runtime loop).
+type Breakdown struct {
+	// PreprocessStall is time the GPUs wait for input data.
+	PreprocessStall float64
+	// Pipeline is the 1F1B makespan across all pipeline stages.
+	Pipeline float64
+	// GradSync is the exposed ZeRO-1 gradient/parameter synchronisation.
+	GradSync float64
+	// Optimizer is the sharded optimizer step.
+	Optimizer float64
+	// CheckpointStall is exposed asynchronous-checkpoint back-pressure.
+	CheckpointStall float64
+}
+
+// Total returns the iteration wall time.
+func (b Breakdown) Total() float64 {
+	return b.PreprocessStall + b.Pipeline + b.GradSync + b.Optimizer + b.CheckpointStall
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("stall %.1fms | pipeline %.1fms | sync %.1fms | optim %.1fms | ckpt %.1fms",
+		b.PreprocessStall*1e3, b.Pipeline*1e3, b.GradSync*1e3, b.Optimizer*1e3, b.CheckpointStall*1e3)
+}
+
+// Series summarises a sequence of observations.
+type Series struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the observation count.
+func (s *Series) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range s.values {
+		t += v
+	}
+	return t / float64(len(s.values))
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Min and Max return the extremes (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+func (s *Series) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		m = math.Max(m, v)
+	}
+	return m
+}

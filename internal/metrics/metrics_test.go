@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMFU(t *testing.T) {
+	// 1000 GPUs at 312 TFLOP/s for 2s executing 3.12e17 FLOPs => 50%.
+	got := MFU(3.12e17, 1000, 312e12, 2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MFU = %g, want 0.5", got)
+	}
+	if MFU(1, 0, 1, 1) != 0 || MFU(1, 1, 0, 1) != 0 || MFU(1, 1, 1, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1920 sequences of 8192 tokens in 6s ~ 2.6M tokens/s (the Fig. 14
+	// regime).
+	got := Throughput(1920, 8192, 6)
+	want := 1920.0 * 8192 / 6
+	if got != want {
+		t.Errorf("Throughput = %g, want %g", got, want)
+	}
+	if Throughput(1, 1, 0) != 0 {
+		t.Error("zero time should give 0")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{PreprocessStall: 0.1, Pipeline: 2, GradSync: 0.3, Optimizer: 0.05, CheckpointStall: 0.02}
+	if math.Abs(b.Total()-2.47) > 1e-12 {
+		t.Errorf("Total = %g", b.Total())
+	}
+	if s := b.String(); len(s) == 0 {
+		t.Error("empty breakdown string")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty series should be all zeros")
+	}
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if got := s.Percentile(0); got != 2 {
+		t.Errorf("P0 = %g", got)
+	}
+	if got := s.Percentile(100); got != 8 {
+		t.Errorf("P100 = %g", got)
+	}
+	wantStd := math.Sqrt((1 + 9 + 9 + 1) / 4.0)
+	if math.Abs(s.Std()-wantStd) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std(), wantStd)
+	}
+}
+
+// Property: MFU is linear in FLOPs and inverse in time; mean is always
+// between min and max.
+func TestMetricProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		return s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9 &&
+			s.Percentile(50) >= s.Min() && s.Percentile(50) <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if MFU(2e17, 100, 312e12, 1) != 2*MFU(1e17, 100, 312e12, 1) {
+		t.Error("MFU not linear in FLOPs")
+	}
+}

@@ -1,0 +1,331 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Module identifies one of the three trainable components of a
+// multimodal LLM (Figure 1 of the paper).
+type Module int
+
+const (
+	// Encoder is the modality encoder (e.g. ViT for images).
+	Encoder Module = iota
+	// Backbone is the LLM backbone (e.g. Llama3).
+	Backbone
+	// Generator is the modality generator (e.g. Stable Diffusion).
+	Generator
+	numModules
+)
+
+// Modules lists the pipeline-ordered modules.
+var Modules = [...]Module{Encoder, Backbone, Generator}
+
+func (m Module) String() string {
+	switch m {
+	case Encoder:
+		return "encoder"
+	case Backbone:
+		return "backbone"
+	case Generator:
+		return "generator"
+	}
+	return fmt.Sprintf("module(%d)", int(m))
+}
+
+// ProjectorConfig is the MLP projector linking modules (input projector
+// after the encoder, output projector before the generator). Projectors
+// are co-located with the encoder or generator and replicated as needed
+// (§2.1, §4.1); they are always trainable (§7.3 trains "projectors only"
+// in the complete-freezing setting).
+type ProjectorConfig struct {
+	InDim, Hidden, OutDim int
+}
+
+// Params returns projector parameter count.
+func (p ProjectorConfig) Params() float64 {
+	return float64(p.InDim)*float64(p.Hidden) + float64(p.Hidden)*float64(p.OutDim)
+}
+
+// FwdFLOPsPerToken returns forward FLOPs per projected token.
+func (p ProjectorConfig) FwdFLOPsPerToken() float64 { return 2 * p.Params() }
+
+// MLLM assembles encoder, backbone and generator into the multimodal
+// model of Figure 1. SeqLen is the fixed training sequence length into
+// which modality subsequences are interleaved (§2.3: 8192 tokens).
+type MLLM struct {
+	Name      string
+	Encoder   TransformerConfig
+	InProj    ProjectorConfig
+	Backbone  TransformerConfig
+	OutProj   ProjectorConfig
+	Generator DiffusionConfig
+	// VAE is the frozen pixel<->latent autoencoder used by the
+	// generator's diffusion loss; its encode pass runs at full pixel
+	// resolution and is charged to the generator module.
+	VAE VAEConfig
+	// GenResolution is the image resolution used for generation
+	// training; the paper uses 1024x1024 for MLLM-72B and 512x512 for
+	// the smaller models (§7).
+	GenResolution int
+	SeqLen        int
+}
+
+// Evaluation presets of §7: Llama3 backbones paired with ViT-Huge and
+// SD 2.1 forming MLLM-9B, MLLM-15B and MLLM-72B.
+func MLLM9B() MLLM  { return newMLLM("MLLM-9B", Llama3_7B, 512) }
+func MLLM15B() MLLM { return newMLLM("MLLM-15B", Llama3_13B, 512) }
+func MLLM72B() MLLM { return newMLLM("MLLM-72B", Llama3_70B, 1024) }
+
+func newMLLM(name string, backbone TransformerConfig, genRes int) MLLM {
+	return MLLM{
+		Name:          name,
+		Encoder:       ViTHuge,
+		InProj:        ProjectorConfig{InDim: ViTHuge.HiddenSize, Hidden: 4 * ViTHuge.HiddenSize, OutDim: backbone.HiddenSize},
+		Backbone:      backbone,
+		OutProj:       ProjectorConfig{InDim: backbone.HiddenSize, Hidden: 4 * SD21.ContextDim, OutDim: SD21.ContextDim},
+		Generator:     SD21,
+		VAE:           SDVAE,
+		GenResolution: genRes,
+		SeqLen:        8192,
+	}
+}
+
+// Presets returns the three evaluation models in paper order.
+func Presets() []MLLM { return []MLLM{MLLM9B(), MLLM15B(), MLLM72B()} }
+
+// Validate checks the assembled model.
+func (m MLLM) Validate() error {
+	if err := m.Encoder.Validate(); err != nil {
+		return err
+	}
+	if err := m.Backbone.Validate(); err != nil {
+		return err
+	}
+	if err := m.Generator.Validate(); err != nil {
+		return err
+	}
+	if m.SeqLen <= 0 {
+		return errors.New("model: SeqLen must be positive")
+	}
+	if m.GenResolution <= 0 || m.GenResolution%m.Generator.LatentScale != 0 {
+		return fmt.Errorf("model: GenResolution %d incompatible with latent scale %d",
+			m.GenResolution, m.Generator.LatentScale)
+	}
+	return nil
+}
+
+// Params returns the parameter count of one module (projectors are
+// accounted with the module they are co-located with: input projector
+// with the encoder, output projector with the generator, per §4.1).
+func (m MLLM) Params(mod Module) float64 {
+	switch mod {
+	case Encoder:
+		return m.Encoder.Params() + m.InProj.Params()
+	case Backbone:
+		return m.Backbone.Params()
+	case Generator:
+		return m.Generator.Params() + m.OutProj.Params() + m.VAE.Params()
+	}
+	return 0
+}
+
+// TotalParams returns the full model size (the "9B" in MLLM-9B).
+func (m MLLM) TotalParams() float64 {
+	return m.Params(Encoder) + m.Params(Backbone) + m.Params(Generator)
+}
+
+// SampleShape characterises one training sample's modality composition:
+// how many image subsequences it interleaves and how many tokens each
+// contributes. Text tokens fill the remainder of the fixed SeqLen
+// sequence. This is the unit of data heterogeneity (§2.3).
+type SampleShape struct {
+	// ImageTokens holds the token count of each image subsequence.
+	ImageTokens []int
+	// GenImages is how many images the generator trains on for this
+	// sample (the images the sample asks the model to produce).
+	GenImages int
+}
+
+// TotalImageTokens sums all image subsequence sizes.
+func (s SampleShape) TotalImageTokens() int {
+	t := 0
+	for _, n := range s.ImageTokens {
+		t += n
+	}
+	return t
+}
+
+// NumImages returns the number of image subsequences.
+func (s SampleShape) NumImages() int { return len(s.ImageTokens) }
+
+// EncoderFwdFLOPs returns forward FLOPs the encoder spends on one
+// sample: a ViT pass per image subsequence (attention is quadratic in
+// the per-image token count, not the packed sequence), plus the input
+// projector over all image tokens.
+func (m MLLM) EncoderFwdFLOPs(s SampleShape) float64 {
+	total := 0.0
+	for _, tokens := range s.ImageTokens {
+		if tokens <= 0 {
+			continue
+		}
+		total += m.Encoder.FwdFLOPs(tokens)
+	}
+	total += float64(s.TotalImageTokens()) * m.InProj.FwdFLOPsPerToken()
+	return total
+}
+
+// BackboneFwdFLOPs returns forward FLOPs for the LLM backbone over one
+// packed sequence. It is independent of the sample's modality mix —
+// the root cause of the paper's observation that LLM stage time is
+// constant while encoder/generator stage times vary (Figure 3).
+func (m MLLM) BackboneFwdFLOPs() float64 { return m.Backbone.FwdFLOPs(m.SeqLen) }
+
+// GeneratorFwdFLOPs returns forward FLOPs the generator spends on one
+// sample: the output projector over the sequence, a frozen VAE encode of
+// each target image at full pixel resolution, and one UNet denoising
+// pass per generated image at the training resolution.
+func (m MLLM) GeneratorFwdFLOPs(s SampleShape) float64 {
+	proj := float64(m.SeqLen) * m.OutProj.FwdFLOPsPerToken()
+	perImage := m.Generator.FwdFLOPsPerImage(m.GenResolution) +
+		m.VAE.EncodeFLOPsPerImage(m.GenResolution)
+	return proj + float64(s.GenImages)*perImage
+}
+
+// generatorTrainableFwdFLOPs is the portion of generator forward cost
+// whose backward pass exists (UNet + projector; the VAE is frozen and
+// outside the gradient path).
+func (m MLLM) generatorTrainableFwdFLOPs(s SampleShape) float64 {
+	proj := float64(m.SeqLen) * m.OutProj.FwdFLOPsPerToken()
+	return proj + float64(s.GenImages)*m.Generator.FwdFLOPsPerImage(m.GenResolution)
+}
+
+// ModuleTrainFLOPs returns forward and backward FLOPs for one sample in
+// the given module under a freeze setting. The backward factor follows
+// FreezeSpec.BackwardFactor; the generator's VAE contributes forward
+// cost only.
+func (m MLLM) ModuleTrainFLOPs(mod Module, s SampleShape, f FreezeSpec) (fwd, bwd float64) {
+	fwd = m.ModuleFwdFLOPs(mod, s)
+	factor := f.BackwardFactor(mod)
+	if mod == Generator {
+		bwd = factor * m.generatorTrainableFwdFLOPs(s)
+		return fwd, bwd
+	}
+	return fwd, factor * fwd
+}
+
+// ModuleFwdFLOPs dispatches per-module forward cost for one sample.
+func (m MLLM) ModuleFwdFLOPs(mod Module, s SampleShape) float64 {
+	switch mod {
+	case Encoder:
+		return m.EncoderFwdFLOPs(s)
+	case Backbone:
+		return m.BackboneFwdFLOPs()
+	case Generator:
+		return m.GeneratorFwdFLOPs(s)
+	}
+	return 0
+}
+
+// FreezeSpec captures which modules are frozen during a training phase
+// (§7.3). Frozen modules still run forward passes but skip weight
+// gradients; projectors always train.
+type FreezeSpec struct {
+	Name                         string
+	Encoder, Backbone, Generator bool // true = frozen
+}
+
+// The four frozen-training settings evaluated in §7.3 plus full training.
+var (
+	FullTraining  = FreezeSpec{Name: "full"}
+	AllFrozen     = FreezeSpec{Name: "all-frozen", Encoder: true, Backbone: true, Generator: true}
+	EncoderOnly   = FreezeSpec{Name: "encoder-only", Backbone: true, Generator: true}
+	LLMOnly       = FreezeSpec{Name: "llm-only", Encoder: true, Generator: true}
+	GeneratorOnly = FreezeSpec{Name: "generator-only", Encoder: true, Backbone: true}
+)
+
+// FrozenSettings lists the §7.3 experiment settings in paper order.
+func FrozenSettings() []FreezeSpec {
+	return []FreezeSpec{AllFrozen, EncoderOnly, LLMOnly, GeneratorOnly}
+}
+
+// Frozen reports whether the given module is frozen.
+func (f FreezeSpec) Frozen(mod Module) bool {
+	switch mod {
+	case Encoder:
+		return f.Encoder
+	case Backbone:
+		return f.Backbone
+	case Generator:
+		return f.Generator
+	}
+	return false
+}
+
+// BackwardFactor returns the module's backward cost as a multiple of its
+// forward cost under this freeze setting.
+//
+// A trainable module computes both activation gradients and weight
+// gradients (factor 2). A frozen module computes activation gradients
+// only (factor 1) when some trainable parameter lies upstream on its
+// gradient path, and skips backward entirely (factor 0) otherwise.
+// Projectors always train: the input projector sits after the encoder
+// and the output projector before the generator, so the backbone and
+// generator always run at least factor 1, while a frozen encoder runs
+// factor 0 (nothing trainable is upstream of it).
+func (f FreezeSpec) BackwardFactor(mod Module) float64 {
+	if !f.Frozen(mod) {
+		return 2
+	}
+	if mod == Encoder {
+		return 0
+	}
+	return 1
+}
+
+// TrainFLOPsMultiplier returns (forward + backward) cost as a multiple
+// of forward cost for the module under this freeze setting.
+func (f FreezeSpec) TrainFLOPsMultiplier(mod Module) float64 {
+	return 1 + f.BackwardFactor(mod)
+}
+
+// ModuleMemory describes the per-GPU memory model of §4.2 for one module
+// sharded across its parallelism group.
+type ModuleMemory struct {
+	// ParamAndGradBytes is the replicated parameter+gradient memory for
+	// the module shard on one GPU: DP*P/gpus in the paper's notation.
+	ParamAndGradBytes float64
+	// OptimizerBytes is the ZeRO-1-sharded optimizer state: S/gpus.
+	OptimizerBytes float64
+	// ActivationBytes is the 1F1B peak activation memory: DP*L*PP/gpus.
+	ActivationBytes float64
+}
+
+// Total sums the components.
+func (mm ModuleMemory) Total() float64 {
+	return mm.ParamAndGradBytes + mm.OptimizerBytes + mm.ActivationBytes
+}
+
+// MemoryModel computes the §4.2 memory constraint terms for a module.
+//
+//	gpus     — GPUs allocated to the module (x, y or z)
+//	dp, pp   — the module's data- and pipeline-parallel sizes
+//	actBytes — activation bytes for ONE microbatch across the whole module
+//	frozen   — frozen modules keep parameters but need no gradients or
+//	           optimizer states
+func (m MLLM) MemoryModel(mod Module, gpus, dp, pp int, actBytes float64, frozen bool) ModuleMemory {
+	p := m.Params(mod)
+	var mm ModuleMemory
+	perParam := float64(BytesPerParam)
+	optim := 0.0
+	if !frozen {
+		perParam += float64(BytesPerGrad)
+		optim = p * BytesPerOptimState / float64(gpus) // ZeRO-1 shards across DP
+	}
+	mm.ParamAndGradBytes = float64(dp) * p * perParam / float64(gpus)
+	mm.OptimizerBytes = optim
+	// 1F1B keeps up to PP in-flight microbatches on the first stage.
+	mm.ActivationBytes = float64(dp) * actBytes * float64(pp) / float64(gpus)
+	return mm
+}

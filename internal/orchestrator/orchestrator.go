@@ -1,0 +1,278 @@
+// Package orchestrator implements DistTrain's disaggregated model
+// orchestration (§4): the formulation of training time per iteration
+// (Eq. 1: warm-up, Eq. 2: steady phase), the resource and GPU-memory
+// constraints, and the adaptive algorithm of §4.3 that enumerates the
+// finite (TP, DP) strategy set and solves each simplified convex
+// subproblem to optimality. The two baselines of the evaluation —
+// Megatron-LM's monolithic orchestration (§2.1) and DistMM*'s
+// FLOPs-proportional allocation (§7.2) — live here too so every
+// strategy is scored by exactly the same objective.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/model"
+	"disttrain/internal/parallel"
+	"disttrain/internal/profiler"
+)
+
+// Spec is one training task to orchestrate.
+type Spec struct {
+	Cluster cluster.Cluster
+	Model   model.MLLM
+	// GlobalBatch is BS, samples per iteration.
+	GlobalBatch int
+	// Microbatch is M, samples per microbatch (small constant, §4.2).
+	Microbatch int
+	// Profiler supplies the calibrated C_me/C_lm/C_mg cost functions and
+	// the freeze setting.
+	Profiler *profiler.Profiler
+	// MaxGPUs caps the fleet (defaults to the whole cluster).
+	MaxGPUs int
+	// VPP is the LLM backbone's virtual-pipeline size (>=1); warm-up
+	// time divides by it (§4.3).
+	VPP int
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if err := s.Cluster.Validate(); err != nil {
+		return err
+	}
+	if s.Profiler == nil {
+		return errors.New("orchestrator: nil profiler")
+	}
+	if s.GlobalBatch <= 0 || s.Microbatch <= 0 {
+		return fmt.Errorf("orchestrator: batch sizes must be positive (BS=%d M=%d)", s.GlobalBatch, s.Microbatch)
+	}
+	if s.GlobalBatch%s.Microbatch != 0 {
+		return fmt.Errorf("orchestrator: M=%d must divide BS=%d", s.Microbatch, s.GlobalBatch)
+	}
+	if s.VPP < 0 {
+		return fmt.Errorf("orchestrator: negative VPP")
+	}
+	return nil
+}
+
+func (s Spec) maxGPUs() int {
+	if s.MaxGPUs > 0 && s.MaxGPUs <= s.Cluster.TotalGPUs() {
+		return s.MaxGPUs
+	}
+	return s.Cluster.TotalGPUs()
+}
+
+func (s Spec) vpp() int {
+	if s.VPP < 1 {
+		return 1
+	}
+	return s.VPP
+}
+
+// ModulePlan is the resource and parallelism decision for one module.
+type ModulePlan struct {
+	Module model.Module
+	Config parallel.Config
+	// Replicated marks encoder/generator groups that replicate the
+	// model across the group instead of TP-sharding it (§7.1).
+	Replicated bool
+}
+
+// GPUs returns the module's GPU count (x, y or z).
+func (mp ModulePlan) GPUs() int { return mp.Config.GPUs() }
+
+// Plan is a complete orchestration decision.
+type Plan struct {
+	Strategy string
+	Modules  [3]ModulePlan // indexed by model.Module
+	// Microbatches is the per-iteration microbatch count per LLM
+	// pipeline: BS / (DP_lm * M).
+	Microbatches int
+	// Estimated objective breakdown (seconds).
+	Warmup, Steady, IterTime float64
+	// EstMFU is the analytic Model FLOPs Utilization estimate.
+	EstMFU float64
+	// Brokers[0] bridges encoder->backbone, Brokers[1] backbone->generator.
+	Brokers [2]int
+}
+
+// TotalGPUs sums module allocations.
+func (p Plan) TotalGPUs() int {
+	t := 0
+	for _, m := range p.Modules {
+		t += m.GPUs()
+	}
+	return t
+}
+
+func (p Plan) String() string {
+	s := fmt.Sprintf("%s plan: %d GPUs, %d microbatches, est iter %.3fs, est MFU %.1f%%\n",
+		p.Strategy, p.TotalGPUs(), p.Microbatches, p.IterTime, 100*p.EstMFU)
+	for _, m := range p.Modules {
+		mode := "tp"
+		if m.Replicated {
+			mode = "replicated"
+		}
+		s += fmt.Sprintf("  %-9s %4d GPUs  %-22s (%s)\n", m.Module, m.GPUs(), m.Config, mode)
+	}
+	return s
+}
+
+// Units instantiates the three parallelism units over consecutive
+// cluster slices, plus the broker assignments between them.
+func (p Plan) Units(cl cluster.Cluster) ([3]*parallel.Unit, [2]parallel.BrokerAssignment, error) {
+	var units [3]*parallel.Unit
+	var brokers [2]parallel.BrokerAssignment
+	slices, err := cl.Partition(p.Modules[0].GPUs(), p.Modules[1].GPUs(), p.Modules[2].GPUs())
+	if err != nil {
+		return units, brokers, err
+	}
+	for i, mp := range p.Modules {
+		u, err := parallel.NewUnit(mp.Module.String(), mp.Config, slices[i], cl.GPUsPerNode)
+		if err != nil {
+			return units, brokers, err
+		}
+		units[i] = u
+	}
+	brokers[0] = parallel.AssignBrokers(units[0], units[1])
+	brokers[1] = parallel.AssignBrokers(units[1], units[2])
+	return units, brokers, nil
+}
+
+// stageTime returns T_mod: the per-PP-stage time of the module for one
+// microbatch, using the paper's §4.2 formulas with the fwd+bwd C
+// functions.
+func stageTime(s Spec, mp ModulePlan, dpLM int) float64 {
+	c := s.Profiler.CTrain(mp.Module, mp.Config.ModelParallelWidth())
+	switch mp.Module {
+	case model.Backbone:
+		return c * float64(s.Microbatch) / float64(mp.Config.PP)
+	default:
+		// T = DP_lm * TP * M / alloc * C(TP)  (alloc = TP*DP*PP)
+		return float64(dpLM) * float64(mp.Config.ModelParallelWidth()) * float64(s.Microbatch) *
+			c / float64(mp.GPUs())
+	}
+}
+
+// Evaluate scores a candidate plan with the Eq. 1 + Eq. 2 objective and
+// fills in the estimate fields. It returns an error when the plan
+// violates resource or memory constraints.
+func Evaluate(s Spec, p *Plan) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	dpLM := p.Modules[model.Backbone].Config.DP
+	if dpLM <= 0 {
+		return errors.New("orchestrator: plan has no backbone DP")
+	}
+	if p.TotalGPUs() > s.maxGPUs() {
+		return fmt.Errorf("orchestrator: plan wants %d GPUs, budget %d", p.TotalGPUs(), s.maxGPUs())
+	}
+	samplesPerIter := s.GlobalBatch
+	if samplesPerIter%(dpLM*s.Microbatch) != 0 {
+		return fmt.Errorf("orchestrator: DP_lm*M=%d does not divide BS=%d", dpLM*s.Microbatch, samplesPerIter)
+	}
+	p.Microbatches = samplesPerIter / (dpLM * s.Microbatch)
+
+	if err := CheckMemory(s, *p); err != nil {
+		return err
+	}
+
+	// Eq. 1: warm-up = sum over modules of T_mod * PP_mod, with the LLM
+	// term divided by VPP (§4.3).
+	var warmup float64
+	var steady float64
+	for _, mp := range p.Modules {
+		t := stageTime(s, mp, dpLM)
+		w := t * float64(mp.Config.PP)
+		if mp.Module == model.Backbone {
+			w /= float64(s.vpp())
+		}
+		warmup += w
+		steady = math.Max(steady, t)
+	}
+	// Eq. 2: steady phase = bottleneck stage time * (microbatches - 1).
+	steady *= float64(p.Microbatches - 1)
+
+	p.Warmup, p.Steady = warmup, steady
+	p.IterTime = warmup + steady
+	p.EstMFU = estimateMFU(s, *p)
+	p.Brokers[0] = gcd(p.Modules[model.Encoder].Config.DP, dpLM)
+	p.Brokers[1] = gcd(dpLM, p.Modules[model.Generator].Config.DP)
+	return nil
+}
+
+// estimateMFU computes model FLOPs executed per iteration divided by
+// fleet capacity over the estimated iteration time.
+func estimateMFU(s Spec, p Plan) float64 {
+	if p.IterTime <= 0 {
+		return 0
+	}
+	shape := s.Profiler.MeanShape()
+	freeze := s.Profiler.Options().Freeze
+	var flops float64
+	for _, mod := range model.Modules {
+		fwd, bwd := s.Model.ModuleTrainFLOPs(mod, shape, freeze)
+		flops += (fwd + bwd) * float64(s.GlobalBatch)
+	}
+	cap := float64(p.TotalGPUs()) * s.Cluster.GPU.PeakFLOPS * p.IterTime
+	return flops / cap
+}
+
+// CheckMemory enforces the §4.2 memory constraint for every module:
+// parameters+gradients, ZeRO-1 optimizer shards, and 1F1B peak
+// activations must fit per-GPU capacity (with an 8% runtime reserve).
+// Under heterogeneous hardware (§8) each module is checked against its
+// own SKU's capacity.
+func CheckMemory(s Spec, p Plan) error {
+	freeze := s.Profiler.Options().Freeze
+	shape := s.Profiler.MeanShape()
+	for _, mp := range p.Modules {
+		budget := s.Profiler.Options().GPUFor(mp.Module).MemoryBytes * 0.92
+		var act float64
+		switch mp.Module {
+		case model.Backbone:
+			act = s.Model.Backbone.ActivationBytesPerToken() * float64(s.Model.SeqLen) * float64(s.Microbatch)
+		case model.Encoder:
+			act = s.Model.Encoder.ActivationBytesPerToken() * float64(shape.TotalImageTokens()) * float64(s.Microbatch)
+		case model.Generator:
+			act = s.Model.Generator.ActivationBytesPerImage(s.Model.GenResolution) *
+				float64(maxInt(shape.GenImages, 1)) * float64(s.Microbatch)
+		}
+		dp := mp.Config.DP
+		if mp.Replicated {
+			// Every GPU of a replicated group holds a full model copy.
+			dp = mp.GPUs() / mp.Config.PP
+		}
+		mm := s.Model.MemoryModel(mp.Module, mp.GPUs(), dp, mp.Config.PP, act, freeze.Frozen(mp.Module))
+		if mm.Total() > budget {
+			return fmt.Errorf("orchestrator: %v needs %.1f GiB/GPU, capacity %.1f GiB",
+				mp.Module, mm.Total()/(1<<30), budget/(1<<30))
+		}
+	}
+	return nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package pipeline simulates pipeline-parallel training schedules
+// exactly: GPipe and 1F1B (the paper's production schedule), over
+// stages whose per-microbatch compute times may differ — the setting
+// created by data heterogeneity (§2.3). The simulator produces the full
+// operation timeline, from which iteration time, pipeline bubbles
+// (Figure 4), and the first-stage intervals of Figure 12 are derived.
+// It also implements the O(p) interval-prediction dynamic program that
+// Algorithm 2's GETINTERVAL uses.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule selects the pipeline schedule.
+type Schedule int
+
+const (
+	// OneFOneB is the 1F1B schedule (DAPPLE/PipeDream-flush): warmup
+	// forwards, steady one-forward-one-backward, cooldown backwards.
+	// DistTrain uses 1F1B; GPipe "consumes more memory without offering
+	// better training efficiency" (§4.2).
+	OneFOneB Schedule = iota
+	// GPipe runs all forwards, then all backwards.
+	GPipe
+)
+
+func (s Schedule) String() string {
+	if s == GPipe {
+		return "gpipe"
+	}
+	return "1f1b"
+}
+
+// OpKind distinguishes forward and backward work.
+type OpKind int
+
+const (
+	Forward OpKind = iota
+	Backward
+)
+
+func (k OpKind) String() string {
+	if k == Forward {
+		return "F"
+	}
+	return "B"
+}
+
+// Op is one executed unit of work in the timeline.
+type Op struct {
+	Stage int
+	MB    int // microbatch index in schedule order, 0-based
+	Kind  OpKind
+	Start float64
+	End   float64
+}
+
+// Work holds the per-stage, per-microbatch compute durations.
+// Fwd[s][m] is the forward time of microbatch m at stage s; Bwd is the
+// backward analogue. All stages must agree on the microbatch count.
+type Work struct {
+	Fwd [][]float64
+	Bwd [][]float64
+	// P2P[s] is the activation/gradient transfer time between stage s
+	// and s+1; nil means zero-cost links.
+	P2P []float64
+}
+
+// Stages returns the stage count.
+func (w Work) Stages() int { return len(w.Fwd) }
+
+// Microbatches returns the microbatch count.
+func (w Work) Microbatches() int {
+	if len(w.Fwd) == 0 {
+		return 0
+	}
+	return len(w.Fwd[0])
+}
+
+// Validate checks shape consistency.
+func (w Work) Validate() error {
+	s := w.Stages()
+	if s == 0 {
+		return fmt.Errorf("pipeline: no stages")
+	}
+	if len(w.Bwd) != s {
+		return fmt.Errorf("pipeline: %d fwd stages but %d bwd stages", s, len(w.Bwd))
+	}
+	l := w.Microbatches()
+	if l == 0 {
+		return fmt.Errorf("pipeline: no microbatches")
+	}
+	for i := 0; i < s; i++ {
+		if len(w.Fwd[i]) != l || len(w.Bwd[i]) != l {
+			return fmt.Errorf("pipeline: stage %d has inconsistent microbatch count", i)
+		}
+	}
+	if w.P2P != nil && len(w.P2P) != s-1 {
+		return fmt.Errorf("pipeline: P2P wants %d links, got %d", s-1, len(w.P2P))
+	}
+	return nil
+}
+
+func (w Work) p2p(link int) float64 {
+	if w.P2P == nil {
+		return 0
+	}
+	return w.P2P[link]
+}
+
+// UniformWork builds a Work with identical per-microbatch times per
+// stage — the homogeneous baseline of Figure 7(a).
+func UniformWork(fwd, bwd []float64, microbatches int) Work {
+	s := len(fwd)
+	w := Work{Fwd: make([][]float64, s), Bwd: make([][]float64, s)}
+	for i := 0; i < s; i++ {
+		w.Fwd[i] = repeat(fwd[i], microbatches)
+		w.Bwd[i] = repeat(bwd[i], microbatches)
+	}
+	return w
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Schedule Schedule
+	Work     Work
+	// Ops in execution order per stage.
+	Ops []Op
+	// IterTime is the makespan of the pipeline (excludes optimizer).
+	IterTime float64
+	// StageBusy is total compute time per stage.
+	StageBusy []float64
+}
+
+// BubbleFraction returns the idle fraction of one stage.
+func (r *Result) BubbleFraction(stage int) float64 {
+	if r.IterTime == 0 {
+		return 0
+	}
+	return 1 - r.StageBusy[stage]/r.IterTime
+}
+
+// MeanBubbleFraction averages bubble fractions over all stages — the
+// aggregate GPU-wasting quantity of Figure 4.
+func (r *Result) MeanBubbleFraction() float64 {
+	if len(r.StageBusy) == 0 {
+		return 0
+	}
+	total := 0.0
+	for s := range r.StageBusy {
+		total += r.BubbleFraction(s)
+	}
+	return total / float64(len(r.StageBusy))
+}
+
+// StageOps returns the ops of one stage in execution order.
+func (r *Result) StageOps(stage int) []Op {
+	var out []Op
+	for _, op := range r.Ops {
+		if op.Stage == stage {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// opRef identifies an op for dependency wiring.
+type opRef struct {
+	stage int
+	mb    int
+	kind  OpKind
+}
+
+// stageProgram returns the fixed op order for one stage under the
+// schedule.
+func stageProgram(sch Schedule, stage, stages, l int) []opRef {
+	prog := make([]opRef, 0, 2*l)
+	switch sch {
+	case GPipe:
+		for m := 0; m < l; m++ {
+			prog = append(prog, opRef{stage, m, Forward})
+		}
+		for m := l - 1; m >= 0; m-- {
+			prog = append(prog, opRef{stage, m, Backward})
+		}
+	default: // OneFOneB
+		warmup := stages - stage - 1
+		if warmup > l {
+			warmup = l
+		}
+		for m := 0; m < warmup; m++ {
+			prog = append(prog, opRef{stage, m, Forward})
+		}
+		for i := 0; i < l-warmup; i++ {
+			prog = append(prog, opRef{stage, warmup + i, Forward})
+			prog = append(prog, opRef{stage, i, Backward})
+		}
+		for m := l - warmup; m < l; m++ {
+			prog = append(prog, opRef{stage, m, Backward})
+		}
+	}
+	return prog
+}
+
+// Simulate computes the exact timeline of the schedule over the given
+// work. The dependency structure is:
+//
+//	F(s,m) after F(s-1,m) + p2p  and the stage's previous op
+//	B(s,m) after B(s+1,m) + p2p  (last stage: after F(s,m)) and the
+//	       stage's previous op
+//
+// Op order within a stage is fixed by the schedule; a stage blocked on
+// a dependency idles (a pipeline bubble).
+func Simulate(sch Schedule, w Work) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	S, l := w.Stages(), w.Microbatches()
+
+	end := make(map[opRef]float64, 2*S*l)
+	progs := make([][]opRef, S)
+	pos := make([]int, S) // next unexecuted op per stage
+	stageClock := make([]float64, S)
+	for s := 0; s < S; s++ {
+		progs[s] = stageProgram(sch, s, S, l)
+	}
+
+	duration := func(r opRef) float64 {
+		if r.kind == Forward {
+			return w.Fwd[r.stage][r.mb]
+		}
+		return w.Bwd[r.stage][r.mb]
+	}
+	// depEnd returns the cross-stage dependency completion time, or -1
+	// if the dependency has not executed yet.
+	depEnd := func(r opRef) (float64, bool) {
+		if r.kind == Forward {
+			if r.stage == 0 {
+				return 0, true
+			}
+			e, ok := end[opRef{r.stage - 1, r.mb, Forward}]
+			return e + w.p2p(r.stage-1), ok
+		}
+		if r.stage == S-1 {
+			e, ok := end[opRef{r.stage, r.mb, Forward}]
+			return e, ok
+		}
+		e, ok := end[opRef{r.stage + 1, r.mb, Backward}]
+		return e + w.p2p(r.stage), ok
+	}
+
+	res := &Result{Schedule: sch, Work: w, StageBusy: make([]float64, S)}
+	remaining := 2 * S * l
+	for remaining > 0 {
+		advanced := false
+		for s := 0; s < S; s++ {
+			for pos[s] < len(progs[s]) {
+				r := progs[s][pos[s]]
+				dep, ok := depEnd(r)
+				if !ok {
+					break
+				}
+				start := math.Max(stageClock[s], dep)
+				d := duration(r)
+				finish := start + d
+				end[r] = finish
+				stageClock[s] = finish
+				res.StageBusy[s] += d
+				res.Ops = append(res.Ops, Op{Stage: s, MB: r.mb, Kind: r.kind, Start: start, End: finish})
+				pos[s]++
+				remaining--
+				advanced = true
+			}
+		}
+		if !advanced {
+			return nil, fmt.Errorf("pipeline: schedule deadlocked with %d ops remaining", remaining)
+		}
+	}
+	for _, c := range stageClock {
+		res.IterTime = math.Max(res.IterTime, c)
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interleaved-1F1B (virtual pipeline parallelism, VPP) support: each
+// physical stage hosts v model chunks, so the layer walk visits
+// virtual stage chunk*S + s. The warm-up shrinks by roughly the VPP
+// factor — the property §4.3 folds into the orchestration objective —
+// at the price of more frequent inter-stage communication.
+
+// vppOp identifies one unit of work in the interleaved schedule.
+type vppOp struct {
+	stage int
+	chunk int
+	mb    int
+	kind  OpKind
+}
+
+// vppProgram builds the fixed execution order for one physical stage
+// under Megatron-LM's interleaved schedule: microbatches proceed in
+// groups of S; within a group the stage runs chunk 0 for all S
+// microbatches, then chunk 1, and so on. Warm-up covers
+// (S-s-1)*2 + (v-1)*S virtual forwards, then the steady phase
+// alternates one virtual forward with one virtual backward, and the
+// cool-down drains the remaining backwards (backwards walk the chunks
+// in reverse).
+func vppProgram(stage, stages, chunks, l int) []vppOp {
+	group := stages * chunks
+	total := l * chunks
+
+	// fwd virtual order: virtual index f -> (mb, chunk)
+	fwdAt := func(f int) (mb, chunk int) {
+		g := f / group
+		within := f % group
+		chunk = within / stages
+		mb = g*stages + within%stages
+		return mb, chunk
+	}
+	// bwd virtual order mirrors with chunks reversed.
+	bwdAt := func(bIdx int) (mb, chunk int) {
+		g := bIdx / group
+		within := bIdx % group
+		chunk = chunks - 1 - within/stages
+		mb = g*stages + within%stages
+		return mb, chunk
+	}
+
+	warmup := (stages-stage-1)*2 + (chunks-1)*stages
+	if warmup > total {
+		warmup = total
+	}
+	prog := make([]vppOp, 0, 2*total)
+	f, b := 0, 0
+	for ; f < warmup; f++ {
+		mb, ch := fwdAt(f)
+		prog = append(prog, vppOp{stage, ch, mb, Forward})
+	}
+	for f < total {
+		mb, ch := fwdAt(f)
+		prog = append(prog, vppOp{stage, ch, mb, Forward})
+		f++
+		mbB, chB := bwdAt(b)
+		prog = append(prog, vppOp{stage, chB, mbB, Backward})
+		b++
+	}
+	for b < total {
+		mbB, chB := bwdAt(b)
+		prog = append(prog, vppOp{stage, chB, mbB, Backward})
+		b++
+	}
+	return prog
+}
+
+// SimulateVPP computes the exact interleaved-1F1B timeline. Work holds
+// the FULL per-stage durations (as for Simulate); each chunk costs a
+// 1/chunks share of its stage. The microbatch count must be a multiple
+// of the stage count (the Megatron-LM interleaving constraint).
+func SimulateVPP(w Work, chunks int) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("pipeline: VPP chunks %d must be >= 1", chunks)
+	}
+	if chunks == 1 {
+		return Simulate(OneFOneB, w)
+	}
+	S, l := w.Stages(), w.Microbatches()
+	if l%S != 0 {
+		return nil, fmt.Errorf("pipeline: interleaved schedule needs microbatches (%d) divisible by stages (%d)", l, S)
+	}
+
+	progs := make([][]vppOp, S)
+	pos := make([]int, S)
+	for s := 0; s < S; s++ {
+		progs[s] = vppProgram(s, S, chunks, l)
+	}
+	duration := func(r vppOp) float64 {
+		if r.kind == Forward {
+			return w.Fwd[r.stage][r.mb] / float64(chunks)
+		}
+		return w.Bwd[r.stage][r.mb] / float64(chunks)
+	}
+	end := make(map[vppOp]float64, 2*S*l*chunks)
+	// depEnd: forward of (chunk k, stage s) follows (k, s-1), or
+	// (k-1, S-1) when s == 0 (the chunk wrap); backward mirrors.
+	depEnd := func(r vppOp) (float64, bool) {
+		if r.kind == Forward {
+			if r.stage == 0 && r.chunk == 0 {
+				return 0, true
+			}
+			var dep vppOp
+			var link float64
+			if r.stage == 0 {
+				dep = vppOp{S - 1, r.chunk - 1, r.mb, Forward}
+				link = w.p2p(S - 2) // wrap rides the same fabric; use the last link when present
+				if S == 1 {
+					link = 0
+				}
+			} else {
+				dep = vppOp{r.stage - 1, r.chunk, r.mb, Forward}
+				link = w.p2p(r.stage - 1)
+			}
+			e, ok := end[dep]
+			return e + link, ok
+		}
+		// Backward.
+		if r.stage == S-1 && r.chunk == chunks-1 {
+			e, ok := end[vppOp{r.stage, r.chunk, r.mb, Forward}]
+			return e, ok
+		}
+		var dep vppOp
+		var link float64
+		if r.stage == S-1 {
+			dep = vppOp{0, r.chunk + 1, r.mb, Backward}
+			link = w.p2p(0)
+			if S == 1 {
+				link = 0
+			}
+		} else {
+			dep = vppOp{r.stage + 1, r.chunk, r.mb, Backward}
+			link = w.p2p(r.stage)
+		}
+		e, ok := end[dep]
+		return e + link, ok
+	}
+
+	res := &Result{Schedule: OneFOneB, Work: w, StageBusy: make([]float64, S)}
+	stageClock := make([]float64, S)
+	remaining := 0
+	for s := 0; s < S; s++ {
+		remaining += len(progs[s])
+	}
+	for remaining > 0 {
+		advanced := false
+		for s := 0; s < S; s++ {
+			for pos[s] < len(progs[s]) {
+				r := progs[s][pos[s]]
+				dep, ok := depEnd(r)
+				if !ok {
+					break
+				}
+				start := math.Max(stageClock[s], dep)
+				d := duration(r)
+				finish := start + d
+				end[r] = finish
+				stageClock[s] = finish
+				res.StageBusy[s] += d
+				res.Ops = append(res.Ops, Op{Stage: s, MB: r.mb, Kind: r.kind, Start: start, End: finish})
+				pos[s]++
+				remaining--
+				advanced = true
+			}
+		}
+		if !advanced {
+			return nil, fmt.Errorf("pipeline: interleaved schedule deadlocked with %d ops remaining", remaining)
+		}
+	}
+	for _, c := range stageClock {
+		res.IterTime = math.Max(res.IterTime, c)
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVPPValidation(t *testing.T) {
+	w := UniformWork(repeat(1, 4), repeat(2, 4), 6) // 6 % 4 != 0
+	if _, err := SimulateVPP(w, 2); err == nil {
+		t.Error("indivisible microbatch count accepted")
+	}
+	if _, err := SimulateVPP(w, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestVPPOneChunkEqualsPlain1F1B(t *testing.T) {
+	w := UniformWork([]float64{1, 1, 1}, []float64{2, 2, 2}, 6)
+	plain, err := Simulate(OneFOneB, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpp, err := SimulateVPP(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(plain.IterTime, vpp.IterTime) {
+		t.Errorf("chunks=1 diverges: %g vs %g", vpp.IterTime, plain.IterTime)
+	}
+}
+
+// The §4.3 motivation: interleaving shrinks the warm-up/bubble share,
+// so homogeneous interleaved iteration time approaches the closed form
+// (l + (S-1)/v) * (f + b).
+func TestVPPReducesBubbles(t *testing.T) {
+	S, l := 4, 16
+	f, b := 1.0, 2.0
+	w := UniformWork(repeat(f, S), repeat(b, S), l)
+	plain, err := Simulate(OneFOneB, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := plain.IterTime
+	for _, v := range []int{2, 4} {
+		res, err := SimulateVPP(w, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IterTime >= prev {
+			t.Errorf("v=%d: iter %g did not improve on %g", v, res.IterTime, prev)
+		}
+		closed := (float64(l) + float64(S-1)/float64(v)) * (f + b)
+		if math.Abs(res.IterTime-closed)/closed > 0.15 {
+			t.Errorf("v=%d: iter %g far from closed form %g", v, res.IterTime, closed)
+		}
+		prev = res.IterTime
+	}
+	// Compute is conserved: busy time per stage is unchanged.
+	res, _ := SimulateVPP(w, 4)
+	for s := 0; s < S; s++ {
+		if !almostEq(res.StageBusy[s], plain.StageBusy[s]) {
+			t.Errorf("stage %d busy %g, want %g", s, res.StageBusy[s], plain.StageBusy[s])
+		}
+	}
+}
+
+// Dependencies hold exactly: a chunk's forward never starts before its
+// upstream virtual stage finished, and ops on one stage never overlap.
+func TestVPPTimelineConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		S := rng.Intn(3) + 2
+		l := S * (rng.Intn(3) + 1)
+		v := []int{2, 4}[rng.Intn(2)]
+		w := Work{Fwd: make([][]float64, S), Bwd: make([][]float64, S)}
+		for s := 0; s < S; s++ {
+			w.Fwd[s] = make([]float64, l)
+			w.Bwd[s] = make([]float64, l)
+			for m := 0; m < l; m++ {
+				w.Fwd[s][m] = rng.Float64() + 0.1
+				w.Bwd[s][m] = 2 * w.Fwd[s][m]
+			}
+		}
+		res, err := SimulateVPP(w, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOps := 2 * S * l * v
+		if len(res.Ops) != wantOps {
+			t.Fatalf("ops = %d, want %d", len(res.Ops), wantOps)
+		}
+		for s := 0; s < S; s++ {
+			ops := res.StageOps(s)
+			for i := 1; i < len(ops); i++ {
+				if ops[i].Start < ops[i-1].End-1e-9 {
+					t.Fatalf("stage %d ops overlap", s)
+				}
+			}
+		}
+		// Every microbatch's total work appears exactly once.
+		var total float64
+		for _, op := range res.Ops {
+			total += op.End - op.Start
+		}
+		var want float64
+		for s := 0; s < S; s++ {
+			for m := 0; m < l; m++ {
+				want += w.Fwd[s][m] + w.Bwd[s][m]
+			}
+		}
+		if math.Abs(total-want) > 1e-6 {
+			t.Fatalf("work not conserved: %g vs %g", total, want)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package preprocess
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"disttrain/internal/data"
+	"disttrain/internal/reorder"
+)
+
+// Protocol: every message is a length-prefixed frame —
+//
+//	uint32   body length (big endian)
+//	byte     opcode
+//	...      opcode-specific body
+//
+// opFetch requests one DP rank's microbatches for one iteration;
+// opBatch answers it. The protocol is deliberately minimal: producers
+// are stateless per request, so any consumer can fetch any (iteration,
+// rank) pair — the property that makes preprocessing elastically
+// scalable (§8).
+const (
+	opFetch byte = 0x01
+	opBatch byte = 0x81
+	opError byte = 0xee
+
+	maxFrame = 1 << 30
+)
+
+// Config parameterises a producer.
+type Config struct {
+	// Source supplies raw samples.
+	Source Source
+	// GlobalBatch, DPSize and Microbatch shape each iteration's
+	// assignment; GlobalBatch must divide evenly across DPSize ranks in
+	// multiples of Microbatch.
+	GlobalBatch, DPSize, Microbatch int
+	// Reorder applies Algorithm 1 across ranks and Algorithm 2 within
+	// each rank (using a token-count cost proxy over PipelineStages).
+	Reorder        bool
+	PipelineStages int
+	// Workers bounds concurrent sample preprocessing (default
+	// 2*DPSize).
+	Workers int
+	// Readahead prefetches this many future iterations after each
+	// fetch, so consumers find their next batch already materialised.
+	Readahead int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Source == nil:
+		return errors.New("preprocess: nil source")
+	case c.GlobalBatch <= 0 || c.DPSize <= 0 || c.Microbatch <= 0:
+		return errors.New("preprocess: non-positive batch geometry")
+	case c.GlobalBatch%(c.DPSize*c.Microbatch) != 0:
+		return fmt.Errorf("preprocess: DP*M=%d must divide BS=%d", c.DPSize*c.Microbatch, c.GlobalBatch)
+	case c.Reorder && c.PipelineStages < 2:
+		return errors.New("preprocess: reordering needs at least 2 pipeline stages")
+	}
+	return nil
+}
+
+// RankBatch is one rank's iteration worth of preprocessed microbatches.
+type RankBatch struct {
+	Iter         int64
+	Rank         int
+	Microbatches [][]Processed
+}
+
+// Server is the producer: it preprocesses iterations on a worker pool,
+// caches them, and serves fetch requests over TCP.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cache    map[int64][][]Processed // iter -> [rank][mb*... flattened per rank]
+	inflight map[int64]chan struct{}
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewServer validates the config and builds a producer.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * cfg.DPSize
+	}
+	if cfg.Readahead < 0 {
+		cfg.Readahead = 0
+	}
+	return &Server{
+		cfg:      cfg,
+		cache:    map[int64][][]Processed{},
+		inflight: map[int64]chan struct{}{},
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Close stops background work; active connections finish their current
+// request.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		if len(body) == 0 {
+			return
+		}
+		switch body[0] {
+		case opFetch:
+			if len(body) != 1+8+4 {
+				writeError(bw, "malformed fetch")
+				return
+			}
+			iter := int64(binary.BigEndian.Uint64(body[1:9]))
+			rank := int(binary.BigEndian.Uint32(body[9:13]))
+			rb, err := s.Fetch(iter, rank)
+			if err != nil {
+				writeError(bw, err.Error())
+				bw.Flush()
+				continue
+			}
+			if err := writeBatch(bw, rb); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		default:
+			writeError(bw, fmt.Sprintf("unknown opcode %#x", body[0]))
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// Fetch returns one rank's batch, materialising the iteration if
+// needed and kicking off readahead for subsequent iterations.
+func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
+	if rank < 0 || rank >= s.cfg.DPSize {
+		return nil, fmt.Errorf("preprocess: rank %d outside DP size %d", rank, s.cfg.DPSize)
+	}
+	perRank, err := s.iteration(iter)
+	if err != nil {
+		return nil, err
+	}
+	// Asynchronous readahead: the producer works ahead of training.
+	for ahead := int64(1); ahead <= int64(s.cfg.Readahead); ahead++ {
+		it := iter + ahead
+		go func() {
+			select {
+			case <-s.closed:
+			default:
+				s.iteration(it) //nolint:errcheck // best-effort warmup
+			}
+		}()
+	}
+	m := s.cfg.Microbatch
+	k := len(perRank[rank]) / m
+	rb := &RankBatch{Iter: iter, Rank: rank, Microbatches: make([][]Processed, k)}
+	for j := 0; j < k; j++ {
+		rb.Microbatches[j] = perRank[rank][j*m : (j+1)*m]
+	}
+	return rb, nil
+}
+
+// iteration materialises (or waits for) one preprocessed iteration.
+func (s *Server) iteration(iter int64) ([][]Processed, error) {
+	s.mu.Lock()
+	if got, ok := s.cache[iter]; ok {
+		s.mu.Unlock()
+		return got, nil
+	}
+	if ch, ok := s.inflight[iter]; ok {
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+		got, ok := s.cache[iter]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("preprocess: iteration %d failed", iter)
+		}
+		return got, nil
+	}
+	done := make(chan struct{})
+	s.inflight[iter] = done
+	s.mu.Unlock()
+
+	out, err := s.build(iter)
+
+	s.mu.Lock()
+	delete(s.inflight, iter)
+	if err == nil {
+		s.cache[iter] = out
+		// Bound the cache: drop iterations older than the readahead
+		// window.
+		for k := range s.cache {
+			if k < iter-int64(s.cfg.Readahead)-2 {
+				delete(s.cache, k)
+			}
+		}
+	}
+	s.mu.Unlock()
+	close(done)
+	return out, err
+}
+
+// build preprocesses one full iteration: fetch raw samples, run the
+// pixel pipeline on the worker pool, then apply both reordering levels.
+func (s *Server) build(iter int64) ([][]Processed, error) {
+	bs := s.cfg.GlobalBatch
+	raw := make([]data.Sample, bs)
+	for i := range raw {
+		raw[i] = s.cfg.Source.Sample(iter*int64(bs) + int64(i))
+	}
+	processed := make([]Processed, bs)
+	errs := make([]error, bs)
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range raw {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			processed[i], errs[i] = ProcessSample(raw[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	perRank := len(processed) / s.cfg.DPSize
+	out := make([][]Processed, s.cfg.DPSize)
+	if !s.cfg.Reorder {
+		for d := range out {
+			out[d] = processed[d*perRank : (d+1)*perRank]
+		}
+		return out, nil
+	}
+	// Algorithm 1 across ranks, with the modality token count as the
+	// heterogeneous-cost proxy.
+	size := func(p Processed) float64 { return float64(p.ImageTokens) + 64*float64(p.GenImages) }
+	_, groups, err := reorder.IntraReorder(processed, size, s.cfg.DPSize)
+	if err != nil {
+		return nil, err
+	}
+	groups = rebalanceProcessed(groups, perRank)
+	// Algorithm 2 within each rank over a stage-time proxy: encoder
+	// time tracks image tokens, generator time tracks generated images,
+	// the LLM stages are constant.
+	for d := range groups {
+		mbs := make([]reorder.Microbatch, len(groups[d]))
+		for j, p := range groups[d] {
+			fwd := make([]float64, s.cfg.PipelineStages)
+			bwd := make([]float64, s.cfg.PipelineStages)
+			for st := range fwd {
+				switch st {
+				case 0:
+					fwd[st] = float64(p.ImageTokens)
+				case s.cfg.PipelineStages - 1:
+					fwd[st] = 1024 * float64(p.GenImages)
+				default:
+					fwd[st] = 8192
+				}
+				bwd[st] = 2 * fwd[st]
+			}
+			mbs[j] = reorder.Microbatch{Index: j, Fwd: fwd, Bwd: bwd}
+		}
+		order, err := reorder.InterReorder(mbs, nil)
+		if err != nil {
+			return nil, err
+		}
+		reordered := make([]Processed, len(order))
+		for j, mb := range order {
+			reordered[j] = groups[d][mb.Index]
+		}
+		out[d] = reordered
+	}
+	return out, nil
+}
+
+// rebalanceProcessed equalises group cardinalities after LPT.
+func rebalanceProcessed(groups [][]Processed, perRank int) [][]Processed {
+	var surplus []Processed
+	for d := range groups {
+		if len(groups[d]) > perRank {
+			surplus = append(surplus, groups[d][perRank:]...)
+			groups[d] = groups[d][:perRank]
+		}
+	}
+	for d := range groups {
+		for len(groups[d]) < perRank && len(surplus) > 0 {
+			groups[d] = append(groups[d], surplus[len(surplus)-1])
+			surplus = surplus[:len(surplus)-1]
+		}
+	}
+	return groups
+}
+
+// --- wire helpers ---
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("preprocess: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func writeFrame(w *bufio.Writer, body []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func writeError(w *bufio.Writer, msg string) {
+	body := append([]byte{opError}, msg...)
+	writeFrame(w, body) //nolint:errcheck // connection teardown follows
+}
+
+func writeBatch(w *bufio.Writer, rb *RankBatch) error {
+	// opcode + iter + rank + mbCount, then per microbatch: sample count
+	// and per sample: index, image/text/gen meta, payload.
+	size := 1 + 8 + 4 + 4
+	for _, mb := range rb.Microbatches {
+		size += 4
+		for _, p := range mb {
+			size += 8 + 4 + 4 + 4 + 4 + len(p.TokenPayload)
+		}
+	}
+	body := make([]byte, 0, size)
+	body = append(body, opBatch)
+	body = binary.BigEndian.AppendUint64(body, uint64(rb.Iter))
+	body = binary.BigEndian.AppendUint32(body, uint32(rb.Rank))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(rb.Microbatches)))
+	for _, mb := range rb.Microbatches {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(mb)))
+		for _, p := range mb {
+			body = binary.BigEndian.AppendUint64(body, uint64(p.SampleIndex))
+			body = binary.BigEndian.AppendUint32(body, uint32(p.ImageTokens))
+			body = binary.BigEndian.AppendUint32(body, uint32(p.TextTokens))
+			body = binary.BigEndian.AppendUint32(body, uint32(p.GenImages))
+			body = binary.BigEndian.AppendUint32(body, uint32(len(p.TokenPayload)))
+			body = append(body, p.TokenPayload...)
+		}
+	}
+	return writeFrame(w, body)
+}
+
+func parseBatch(body []byte) (*RankBatch, error) {
+	if len(body) < 1+8+4+4 || body[0] != opBatch {
+		if len(body) > 0 && body[0] == opError {
+			return nil, fmt.Errorf("preprocess: server error: %s", body[1:])
+		}
+		return nil, errors.New("preprocess: malformed batch frame")
+	}
+	off := 1
+	u64 := func() uint64 { v := binary.BigEndian.Uint64(body[off:]); off += 8; return v }
+	u32 := func() uint32 { v := binary.BigEndian.Uint32(body[off:]); off += 4; return v }
+	rb := &RankBatch{Iter: int64(u64()), Rank: int(u32())}
+	mbCount := int(u32())
+	for j := 0; j < mbCount; j++ {
+		if off+4 > len(body) {
+			return nil, errors.New("preprocess: truncated batch frame")
+		}
+		n := int(u32())
+		mb := make([]Processed, 0, n)
+		for i := 0; i < n; i++ {
+			if off+24 > len(body) {
+				return nil, errors.New("preprocess: truncated sample header")
+			}
+			var p Processed
+			p.SampleIndex = int64(u64())
+			p.ImageTokens = int32(u32())
+			p.TextTokens = int32(u32())
+			p.GenImages = int32(u32())
+			plen := int(u32())
+			if off+plen > len(body) {
+				return nil, errors.New("preprocess: truncated payload")
+			}
+			p.TokenPayload = append([]byte(nil), body[off:off+plen]...)
+			off += plen
+			mb = append(mb, p)
+		}
+		rb.Microbatches = append(rb.Microbatches, mb)
+	}
+	return rb, nil
+}
+
+// Colocated runs the identical preprocessing pipeline synchronously on
+// the caller — the monolithic baseline whose stall Figure 17 measures.
+type Colocated struct {
+	cfg Config
+}
+
+// NewColocated builds the inline preprocessor.
+func NewColocated(cfg Config) (*Colocated, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Colocated{cfg: cfg}, nil
+}
+
+// Fetch preprocesses one rank's batch on the calling goroutine,
+// blocking the training loop for the full CPU cost.
+func (c *Colocated) Fetch(ctx context.Context, iter int64, rank int) (*RankBatch, error) {
+	bs := c.cfg.GlobalBatch
+	perRank := bs / c.cfg.DPSize
+	m := c.cfg.Microbatch
+	rb := &RankBatch{Iter: iter, Rank: rank}
+	start := iter*int64(bs) + int64(rank*perRank)
+	var mb []Processed
+	for i := 0; i < perRank; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := ProcessSample(c.cfg.Source.Sample(start + int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		mb = append(mb, p)
+		if len(mb) == m {
+			rb.Microbatches = append(rb.Microbatches, mb)
+			mb = nil
+		}
+	}
+	return rb, nil
+}

@@ -1,0 +1,380 @@
+// Package profiler is DistTrain's performance profiler (§3): it "runs a
+// series of benchmarking training trials and constructs a performance
+// profiler with linear interpolation to estimate each module's
+// computation and communication time". The trials here evaluate the
+// analytic cost model of internal/model on a calibrated GPU efficiency
+// curve; the interpolation layer then answers arbitrary workload
+// queries, exactly as the production profiler answers them from
+// measured trials.
+//
+// The profiler exposes the paper's three cost functions — C_me(TP),
+// C_lm(TP) and C_mg(TP), the forward time of an entire module for one
+// sample at a given tensor-parallel width, communication included —
+// plus their fwd+bwd variants used by the orchestration objective.
+package profiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/comm"
+	"disttrain/internal/data"
+	"disttrain/internal/model"
+)
+
+// Options configures a profiler.
+type Options struct {
+	Cluster cluster.Cluster
+	Model   model.MLLM
+	Freeze  model.FreezeSpec
+	// StepCCLOverlap is the fraction of tensor-parallel communication
+	// hidden behind computation by StepCCL (Appendix A.1); 0 models the
+	// baseline without overlap.
+	StepCCLOverlap float64
+	// SeqParallel enables sequence parallelism inside the LLM backbone.
+	SeqParallel bool
+	// ReplicateSmallModules processes different images on different
+	// GPUs of an encoder/generator group instead of tensor-parallelism
+	// ("we replicate the modality encoder and generator across the GPUs
+	// within the TP group... whereas TP itself is not used", §7.1).
+	ReplicateSmallModules bool
+	// MicrobatchSize is the per-microbatch sample count M (§4.2 sets it
+	// to a small predefined constant to avoid memory overflow).
+	MicrobatchSize int
+	// ModuleGPUs optionally assigns a different accelerator SKU to a
+	// module — the heterogeneous-hardware deployment of §8 ("we can
+	// place [the] ViT encoder on more economical GPUs, e.g. NVIDIA
+	// L20"). Modules absent from the map use the cluster's SKU.
+	ModuleGPUs map[model.Module]cluster.GPUSpec
+}
+
+// GPUFor returns the accelerator SKU a module runs on.
+func (o Options) GPUFor(mod model.Module) cluster.GPUSpec {
+	if g, ok := o.ModuleGPUs[mod]; ok {
+		return g
+	}
+	return o.Cluster.GPU
+}
+
+// DefaultOptions returns the production configuration for a model on a
+// cluster: StepCCL enabled, sequence parallelism on, replicated small
+// modules, M = 1.
+func DefaultOptions(cl cluster.Cluster, m model.MLLM) Options {
+	return Options{
+		Cluster:               cl,
+		Model:                 m,
+		Freeze:                model.FullTraining,
+		StepCCLOverlap:        0.85,
+		SeqParallel:           true,
+		ReplicateSmallModules: true,
+		MicrobatchSize:        1,
+	}
+}
+
+// Profiler converts module workloads into seconds.
+type Profiler struct {
+	opts Options
+	// meanShape is the corpus-calibrated average sample composition,
+	// gathered by Calibrate (the manager "samples a subset of training
+	// data to analyze the data distribution").
+	meanShape   model.SampleShape
+	calibrated  bool
+	interpTable map[interpKey][]interpPoint
+}
+
+type interpKey struct {
+	mod model.Module
+	tp  int
+}
+
+type interpPoint struct {
+	tokens float64 // workload size proxy (modality tokens or gen images)
+	fwd    float64
+}
+
+// New creates a profiler. Options must carry a valid cluster and model.
+func New(opts Options) (*Profiler, error) {
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MicrobatchSize <= 0 {
+		return nil, fmt.Errorf("profiler: MicrobatchSize %d must be positive", opts.MicrobatchSize)
+	}
+	if opts.StepCCLOverlap < 0 || opts.StepCCLOverlap > 1 {
+		return nil, fmt.Errorf("profiler: StepCCLOverlap %g outside [0,1]", opts.StepCCLOverlap)
+	}
+	return &Profiler{opts: opts, interpTable: map[interpKey][]interpPoint{}}, nil
+}
+
+// Options returns the profiler's configuration.
+func (p *Profiler) Options() Options { return p.opts }
+
+// efficiency returns the fraction of peak FLOP/s a module achieves on
+// one GPU, degraded as tensor parallelism shrinks the per-GPU matrix
+// shards. Values are calibrated so the end-to-end evaluation reproduces
+// the paper's MFU bands (EXPERIMENTS.md): dense 8K-context transformer
+// GEMMs near 0.68 of bf16 peak, ViT's smaller GEMMs near 0.57, and the
+// generator mix (UNet convolutions plus the memory-bound VAE) near
+// 0.44.
+func (p *Profiler) efficiency(mod model.Module, width int) float64 {
+	var base float64
+	switch mod {
+	case model.Backbone:
+		base = 0.68
+	case model.Encoder:
+		base = 0.57
+	case model.Generator:
+		base = 0.44
+	}
+	if p.opts.ReplicateSmallModules && mod != model.Backbone {
+		// Replication keeps full-size kernels on every GPU.
+		return base
+	}
+	return base * (1 - 0.02*math.Log2(float64(width)))
+}
+
+// tpComm returns the exposed tensor-parallel communication time for one
+// microbatch across a whole module at the given TP width.
+func (p *Profiler) tpComm(mod model.Module, tp int, samples int) float64 {
+	if tp <= 1 {
+		return 0
+	}
+	if p.opts.ReplicateSmallModules && mod != model.Backbone {
+		return 0 // replicated modules do not communicate within the group
+	}
+	m := p.opts.Model
+	cost := comm.CollectiveCost{
+		BandwidthBps: p.opts.Cluster.GroupBandwidth(tp),
+		Latency:      p.opts.Cluster.LinkLatency,
+	}
+	var layers int
+	var actBytes float64
+	switch mod {
+	case model.Backbone:
+		layers = m.Backbone.Layers
+		actBytes = float64(m.SeqLen) * float64(m.Backbone.HiddenSize) * 2 * float64(samples)
+	case model.Encoder:
+		layers = m.Encoder.Layers
+		actBytes = float64(p.meanImageTokens()) * float64(m.Encoder.HiddenSize) * 2 * float64(samples)
+	case model.Generator:
+		layers = len(m.Generator.StageChannels) * (m.Generator.DownBlocks + m.Generator.UpBlocks)
+		latent := float64(m.GenResolution / m.Generator.LatentScale)
+		actBytes = latent * latent * float64(m.Generator.StageChannels[0]) * 2 * float64(samples)
+	}
+	per := comm.TPOverheadPerLayer(cost, actBytes, tp, p.opts.SeqParallel && mod == model.Backbone, p.opts.StepCCLOverlap)
+	return per * float64(layers)
+}
+
+func (p *Profiler) meanImageTokens() int {
+	if p.calibrated && len(p.meanShape.ImageTokens) > 0 {
+		return p.meanShape.ImageTokens[0]
+	}
+	return 1024
+}
+
+// balanceFactor models per-image granularity when a sample's images are
+// replicated across the GPUs of a group: k GPUs processing n images
+// finish in ceil(n/k) image-times.
+func balanceFactor(images, width int) float64 {
+	if images <= 0 || width <= 1 {
+		return 1
+	}
+	perGPU := math.Ceil(float64(images) / float64(width))
+	return perGPU * float64(width) / float64(images)
+}
+
+// SampleForward returns C_mod(width) evaluated on one concrete sample:
+// the forward seconds for the entire module's work on that sample over
+// a width-GPU tensor-parallel (or replication) group, communication
+// included.
+func (p *Profiler) SampleForward(mod model.Module, width int, s model.SampleShape) float64 {
+	flops := p.opts.Model.ModuleFwdFLOPs(mod, s)
+	eff := p.efficiency(mod, width)
+	gpu := p.opts.GPUFor(mod).PeakFLOPS
+	t := flops / (float64(width) * gpu * eff)
+	if p.opts.ReplicateSmallModules && mod != model.Backbone {
+		// Image-granular replication: imbalance when images % width != 0.
+		n := s.NumImages()
+		if mod == model.Generator {
+			n = s.GenImages
+		}
+		t *= balanceFactor(n, width)
+	}
+	return t + p.tpComm(mod, width, 1)
+}
+
+// SampleTrain returns forward+backward seconds for one sample under the
+// profiler's freeze setting.
+func (p *Profiler) SampleTrain(mod model.Module, width int, s model.SampleShape) float64 {
+	fwdFLOPs, bwdFLOPs := p.opts.Model.ModuleTrainFLOPs(mod, s, p.opts.Freeze)
+	eff := p.efficiency(mod, width)
+	gpu := p.opts.GPUFor(mod).PeakFLOPS
+	t := (fwdFLOPs + bwdFLOPs) / (float64(width) * gpu * eff)
+	if p.opts.ReplicateSmallModules && mod != model.Backbone {
+		n := s.NumImages()
+		if mod == model.Generator {
+			n = s.GenImages
+		}
+		t *= balanceFactor(n, width)
+	}
+	// Backward mirrors forward communication.
+	commMult := 1.0
+	if bwdFLOPs > 0 {
+		commMult = 2
+	}
+	return t + commMult*p.tpComm(mod, width, 1)
+}
+
+// Calibrate samples the corpus and records the mean sample shape; it
+// also (re)builds the interpolation tables for every module and TP
+// width. n is the number of profiling samples (§3's "subset of
+// training data").
+func (p *Profiler) Calibrate(corpus *data.Corpus, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("profiler: need at least one calibration sample")
+	}
+	var totalImgTokens, totalImgs, totalGen int
+	for i := 0; i < n; i++ {
+		s := corpus.Sample(int64(i))
+		totalImgTokens += s.TotalImageTokens()
+		totalImgs += s.NumImages()
+		totalGen += s.GenImages
+	}
+	meanImgs := int(math.Round(float64(totalImgs) / float64(n)))
+	if meanImgs < 1 {
+		meanImgs = 1
+	}
+	perImage := totalImgTokens / max(totalImgs, 1)
+	shape := model.SampleShape{GenImages: int(math.Round(float64(totalGen) / float64(n)))}
+	for i := 0; i < meanImgs; i++ {
+		shape.ImageTokens = append(shape.ImageTokens, perImage)
+	}
+	p.meanShape = shape
+	p.calibrated = true
+	p.buildInterpolation()
+	return nil
+}
+
+// MeanShape returns the calibrated average sample composition.
+func (p *Profiler) MeanShape() model.SampleShape { return p.meanShape }
+
+// Calibrated reports whether Calibrate has run.
+func (p *Profiler) Calibrated() bool { return p.calibrated }
+
+// CFwd returns the paper's C function: mean forward seconds per sample
+// for the module at the given width, from the calibrated shape.
+func (p *Profiler) CFwd(mod model.Module, width int) float64 {
+	return p.SampleForward(mod, width, p.shapeOrDefault())
+}
+
+// CTrain returns the fwd+bwd variant of the C function, which the
+// orchestration objective uses ("changing C_lm, C_me, and C_mg from
+// forward time functions to the sum functions of forward and backward
+// time", §4.2).
+func (p *Profiler) CTrain(mod model.Module, width int) float64 {
+	return p.SampleTrain(mod, width, p.shapeOrDefault())
+}
+
+func (p *Profiler) shapeOrDefault() model.SampleShape {
+	if p.calibrated {
+		return p.meanShape
+	}
+	return model.SampleShape{ImageTokens: []int{1024, 1024, 1024, 1024}, GenImages: 1}
+}
+
+// --- linear interpolation layer ---
+
+// buildInterpolation evaluates trial workloads on a grid per module and
+// TP width, mimicking the production profiler's benchmark trials. The
+// encoder/generator grids step in half-image increments of the
+// calibrated mean image size, because their cost functions are
+// piecewise in whole images (a group of k GPUs finishes ceil(n/k)
+// image-times); the backbone grid steps in sequence tokens.
+func (p *Profiler) buildInterpolation() {
+	per := float64(p.meanImageTokens())
+	var modalityGrid []float64
+	for k := 0.0; k <= 24; k += 0.5 {
+		modalityGrid = append(modalityGrid, k*per)
+	}
+	seqGrid := []float64{0, 1024, 2048, 4096, 8192, 16384, 32768}
+	for _, mod := range model.Modules {
+		grid := modalityGrid
+		if mod == model.Backbone {
+			grid = seqGrid
+		}
+		for _, tp := range []int{1, 2, 4, 8} {
+			key := interpKey{mod, tp}
+			var pts []interpPoint
+			for _, tokens := range grid {
+				pts = append(pts, interpPoint{tokens: tokens, fwd: p.trialForward(mod, tp, tokens)})
+			}
+			p.interpTable[key] = pts
+		}
+	}
+}
+
+// trialForward runs one synthetic trial: a sample whose modality volume
+// equals the given token count.
+func (p *Profiler) trialForward(mod model.Module, tp int, tokens float64) float64 {
+	shape := p.trialShape(mod, tokens)
+	return p.SampleForward(mod, tp, shape)
+}
+
+func (p *Profiler) trialShape(mod model.Module, tokens float64) model.SampleShape {
+	switch mod {
+	case model.Encoder:
+		// Split the token volume into mean-sized images.
+		per := p.meanImageTokens()
+		n := int(tokens) / per
+		s := model.SampleShape{}
+		for i := 0; i < n; i++ {
+			s.ImageTokens = append(s.ImageTokens, per)
+		}
+		if rem := int(tokens) % per; rem > 0 {
+			s.ImageTokens = append(s.ImageTokens, rem)
+		}
+		return s
+	case model.Generator:
+		// tokens proxy: generated images in units of mean image tokens.
+		per := p.meanImageTokens()
+		return model.SampleShape{GenImages: int(math.Round(tokens / float64(per)))}
+	default:
+		return model.SampleShape{}
+	}
+}
+
+// InterpForward estimates forward time for a workload of the given
+// modality-token volume by linear interpolation over the trial table —
+// the estimation path the production manager uses instead of running
+// the analytic model everywhere.
+func (p *Profiler) InterpForward(mod model.Module, tp int, tokens float64) (float64, error) {
+	pts, ok := p.interpTable[interpKey{mod, tp}]
+	if !ok || len(pts) == 0 {
+		return 0, fmt.Errorf("profiler: no trials for %v tp=%d (run Calibrate)", mod, tp)
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].tokens >= tokens })
+	if i == 0 {
+		return pts[0].fwd, nil
+	}
+	if i == len(pts) {
+		// Extrapolate from the last segment.
+		a, b := pts[len(pts)-2], pts[len(pts)-1]
+		slope := (b.fwd - a.fwd) / (b.tokens - a.tokens)
+		return b.fwd + slope*(tokens-b.tokens), nil
+	}
+	a, b := pts[i-1], pts[i]
+	frac := (tokens - a.tokens) / (b.tokens - a.tokens)
+	return a.fwd + frac*(b.fwd-a.fwd), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

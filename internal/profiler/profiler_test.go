@@ -1,0 +1,245 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/data"
+	"disttrain/internal/model"
+)
+
+func newProfiler(t *testing.T, m model.MLLM) *Profiler {
+	t.Helper()
+	p, err := New(DefaultOptions(cluster.Production(12), m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func calibrated(t *testing.T, m model.MLLM) *Profiler {
+	t.Helper()
+	p := newProfiler(t, m)
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Calibrate(corpus, 200); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	opts := DefaultOptions(cluster.Production(1), model.MLLM9B())
+	opts.MicrobatchSize = 0
+	if _, err := New(opts); err == nil {
+		t.Error("zero microbatch size accepted")
+	}
+	opts = DefaultOptions(cluster.Production(1), model.MLLM9B())
+	opts.StepCCLOverlap = 1.5
+	if _, err := New(opts); err == nil {
+		t.Error("overlap > 1 accepted")
+	}
+	opts = DefaultOptions(cluster.Cluster{}, model.MLLM9B())
+	if _, err := New(opts); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+// Figure 3's physics: one 8K sequence through one Llama3-70B PP stage
+// (PP=10, TP=8) should take on the order of 100ms forward; ViT and SD
+// grow with image count and resolution while the LLM does not.
+func TestForwardTimeMagnitudes(t *testing.T) {
+	m := model.MLLM72B()
+	p := calibrated(t, m)
+
+	perStage := p.SampleForward(model.Backbone, 8, model.SampleShape{}) / 10
+	if perStage < 0.030 || perStage > 0.300 {
+		t.Errorf("70B PP-stage forward = %.1fms, want ~50-150ms", perStage*1e3)
+	}
+
+	light := model.SampleShape{ImageTokens: []int{1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024}, GenImages: 8}
+	heavy := model.SampleShape{ImageTokens: []int{4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096,
+		4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096}, GenImages: 16}
+
+	encLight := p.SampleForward(model.Encoder, 8, light)
+	encHeavy := p.SampleForward(model.Encoder, 8, heavy)
+	if encHeavy <= 2*encLight {
+		t.Errorf("encoder should scale with images+resolution: %.1fms -> %.1fms",
+			encLight*1e3, encHeavy*1e3)
+	}
+	genLight := p.SampleForward(model.Generator, 8, light)
+	genHeavy := p.SampleForward(model.Generator, 8, heavy)
+	if genHeavy <= 1.5*genLight {
+		t.Errorf("generator should scale with generated images: %.1fms -> %.1fms",
+			genLight*1e3, genHeavy*1e3)
+	}
+	// The backbone is flat across input mixes.
+	if p.SampleForward(model.Backbone, 8, light) != p.SampleForward(model.Backbone, 8, heavy) {
+		t.Error("backbone time must not depend on the modality mix")
+	}
+}
+
+func TestMoreGPUsAreFaster(t *testing.T) {
+	p := calibrated(t, model.MLLM9B())
+	s := model.SampleShape{ImageTokens: []int{1024, 1024, 1024, 1024}, GenImages: 2}
+	for _, mod := range model.Modules {
+		t1 := p.SampleForward(mod, 1, s)
+		t8 := p.SampleForward(mod, 8, s)
+		if t8 >= t1 {
+			t.Errorf("%v: 8 GPUs (%.2fms) not faster than 1 (%.2fms)", mod, t8*1e3, t1*1e3)
+		}
+	}
+}
+
+func TestStepCCLReducesBackboneTime(t *testing.T) {
+	m := model.MLLM15B()
+	base := DefaultOptions(cluster.Production(4), m)
+	base.StepCCLOverlap = 0
+	noOverlap, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOverlapOpts := base
+	withOverlapOpts.StepCCLOverlap = 0.85
+	withOverlap, err := New(withOverlapOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.SampleShape{}
+	slow := noOverlap.SampleForward(model.Backbone, 8, s)
+	fast := withOverlap.SampleForward(model.Backbone, 8, s)
+	if fast >= slow {
+		t.Errorf("StepCCL overlap must reduce TP-exposed time: %.2fms vs %.2fms", fast*1e3, slow*1e3)
+	}
+	// The gain is in the Figure 22 regime: ~1.05-1.3x at TP=8.
+	ratio := slow / fast
+	if ratio < 1.02 || ratio > 1.5 {
+		t.Errorf("StepCCL speedup = %.3fx, want a Figure-22-like margin", ratio)
+	}
+}
+
+func TestFreezeReducesTrainTime(t *testing.T) {
+	m := model.MLLM9B()
+	full := newProfiler(t, m)
+	opts := DefaultOptions(cluster.Production(12), m)
+	opts.Freeze = model.LLMOnly // encoder fully frozen
+	frozen, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.SampleShape{ImageTokens: []int{2048, 2048}, GenImages: 1}
+	if ft, tt := frozen.SampleTrain(model.Encoder, 4, s), full.SampleTrain(model.Encoder, 4, s); ft >= tt {
+		t.Errorf("frozen encoder train time %.2fms !< full %.2fms", ft*1e3, tt*1e3)
+	}
+	// Forward time is unchanged by freezing.
+	if frozen.SampleForward(model.Encoder, 4, s) != full.SampleForward(model.Encoder, 4, s) {
+		t.Error("freeze must not change forward time")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	p := newProfiler(t, model.MLLM9B())
+	if p.Calibrated() {
+		t.Error("profiler should start uncalibrated")
+	}
+	if err := p.Calibrate(nil, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	corpus, _ := data.NewCorpus(data.LAION400M())
+	if err := p.Calibrate(corpus, 100); err != nil {
+		t.Fatal(err)
+	}
+	shape := p.MeanShape()
+	if len(shape.ImageTokens) == 0 {
+		t.Fatal("calibrated shape has no images")
+	}
+	if shape.ImageTokens[0] < 64 || shape.ImageTokens[0] > 4096 {
+		t.Errorf("mean image tokens %d implausible", shape.ImageTokens[0])
+	}
+	// C functions become available and ordered: more parallelism, less
+	// time.
+	if p.CTrain(model.Backbone, 8) >= p.CTrain(model.Backbone, 1) {
+		t.Error("C_lm(8) should be below C_lm(1)")
+	}
+	if p.CFwd(model.Backbone, 8) >= p.CTrain(model.Backbone, 8) {
+		t.Error("fwd-only C must be below fwd+bwd C")
+	}
+}
+
+func TestInterpolationApproximatesModel(t *testing.T) {
+	p := calibrated(t, model.MLLM9B())
+	per := float64(p.MeanShape().ImageTokens[0])
+	// Exact at trial grid points (whole-image workloads).
+	for _, k := range []float64{1, 2, 4, 8} {
+		est, err := p.InterpForward(model.Encoder, 4, k*per)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := p.trialForward(model.Encoder, 4, k*per)
+		if math.Abs(est-direct) > 1e-12 {
+			t.Errorf("interpolation at grid point %g images off: est %g direct %g", k, est, direct)
+		}
+	}
+	// Off-grid queries land within the per-image step granularity that
+	// bounds any trial-based profiler.
+	for _, tokens := range []float64{700, 3000, 10000} {
+		est, err := p.InterpForward(model.Encoder, 4, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := p.trialForward(model.Encoder, 4, tokens)
+		if direct == 0 {
+			continue
+		}
+		if rel := math.Abs(est-direct) / direct; rel > 0.5 {
+			t.Errorf("interpolation at %g tokens off by %.0f%% (est %.3gms direct %.3gms)",
+				tokens, rel*100, est*1e3, direct*1e3)
+		}
+	}
+	// Unknown keys error.
+	if _, err := p.InterpForward(model.Encoder, 3, 100); err == nil {
+		t.Error("interpolation accepted unknown TP width")
+	}
+	// Uncalibrated profilers have no table.
+	fresh := newProfiler(t, model.MLLM9B())
+	if _, err := fresh.InterpForward(model.Encoder, 4, 100); err == nil {
+		t.Error("uncalibrated interpolation should error")
+	}
+}
+
+func TestBalanceFactor(t *testing.T) {
+	if got := balanceFactor(8, 8); got != 1 {
+		t.Errorf("8 images on 8 GPUs = %g, want 1", got)
+	}
+	// 9 images on 8 GPUs: one GPU does 2, others idle half the time.
+	if got := balanceFactor(9, 8); math.Abs(got-16.0/9) > 1e-9 {
+		t.Errorf("9 on 8 = %g, want 16/9", got)
+	}
+	if got := balanceFactor(0, 8); got != 1 {
+		t.Errorf("no images = %g, want 1", got)
+	}
+	if got := balanceFactor(5, 1); got != 1 {
+		t.Errorf("width 1 = %g, want 1", got)
+	}
+}
+
+func TestReplicationAvoidsTPComm(t *testing.T) {
+	m := model.MLLM9B()
+	opts := DefaultOptions(cluster.Production(2), m)
+	opts.ReplicateSmallModules = true
+	rep, _ := New(opts)
+	opts2 := opts
+	opts2.ReplicateSmallModules = false
+	tp, _ := New(opts2)
+
+	s := model.SampleShape{ImageTokens: []int{1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024}}
+	tRep := rep.SampleForward(model.Encoder, 8, s)
+	tTP := tp.SampleForward(model.Encoder, 8, s)
+	if tRep >= tTP {
+		t.Errorf("replicated encoder (%.3fms) should beat TP-sharded (%.3fms) for balanced image counts",
+			tRep*1e3, tTP*1e3)
+	}
+}

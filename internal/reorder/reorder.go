@@ -1,0 +1,286 @@
+// Package reorder implements DistTrain's disaggregated data reordering
+// (§5): Algorithm 1, intra-microbatch reordering, balances sample load
+// across data-parallel groups with the greedy LPT partition (4/3
+// approximation of the NP-hard multiway number partitioning problem);
+// Algorithm 2, inter-microbatch reordering, orders the microbatches of
+// one DP rank to fill the 1F1B pipeline intervals of Figure 12 and hide
+// encoder/generator stragglers inside the pipeline.
+//
+// Both algorithms only permute samples within a global batch, so they
+// merely reorder the commutative gradient-accumulation sum and preserve
+// the training's convergence semantics — a property the tests verify
+// numerically.
+package reorder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrain/internal/pipeline"
+)
+
+// IntraReorder is Algorithm 1: it partitions items across m data-
+// parallel groups, assigning each item (largest first) to the currently
+// least-loaded group, and returns the reordered sequence — the
+// concatenation of the groups — plus the per-group assignment. DP group
+// g consumes the g-th contiguous block of the returned order.
+//
+// size must be non-negative; ties keep the original order (stable).
+func IntraReorder[T any](items []T, size func(T) float64, m int) (ordered []T, groups [][]T, err error) {
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("reorder: DP size %d must be positive", m)
+	}
+	if len(items) == 0 {
+		return nil, make([][]T, m), nil
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort descending by size (line 3); stable so equal sizes keep
+	// corpus order and the result is deterministic.
+	sort.SliceStable(idx, func(a, b int) bool {
+		return size(items[idx[a]]) > size(items[idx[b]])
+	})
+
+	groups = make([][]T, m)
+	loads := make([]float64, m)
+	for _, i := range idx {
+		min := 0
+		for g := 1; g < m; g++ {
+			if loads[g] < loads[min] {
+				min = g
+			}
+		}
+		groups[min] = append(groups[min], items[i])
+		loads[min] += size(items[i])
+	}
+	ordered = make([]T, 0, len(items))
+	for g := 0; g < m; g++ {
+		ordered = append(ordered, groups[g]...)
+	}
+	return ordered, groups, nil
+}
+
+// MaxGroupLoad returns the heaviest group's total size — the
+// intra-microbatch straggler's cost.
+func MaxGroupLoad[T any](groups [][]T, size func(T) float64) float64 {
+	worst := 0.0
+	for _, g := range groups {
+		load := 0.0
+		for _, it := range g {
+			load += size(it)
+		}
+		worst = math.Max(worst, load)
+	}
+	return worst
+}
+
+// Microbatch carries one microbatch's per-pipeline-stage compute times
+// for inter-microbatch reordering. Fwd[0] is the modality encoder
+// stage; Fwd[len-1] the modality generator stage. Index is an opaque
+// identity preserved through reordering.
+type Microbatch struct {
+	Index int
+	Fwd   []float64
+	Bwd   []float64
+}
+
+// HeteroSize returns the microbatch's data-heterogeneous compute time:
+// encoder plus generator stage forward time (§5.3: "the size refers to
+// the computation time of the microbatch in modality encoder and
+// generator").
+func (m Microbatch) HeteroSize() float64 {
+	if len(m.Fwd) == 0 {
+		return 0
+	}
+	return m.Fwd[0] + m.Fwd[len(m.Fwd)-1]
+}
+
+// InterReorder is Algorithm 2: reorder the microbatches of one DP rank
+// for the 1F1B schedule with p pipeline stages (p = len(Fwd) of every
+// microbatch).
+//
+//  1. schedule the smallest microbatch first to activate all stages
+//     promptly;
+//  2. reserve the p-1 smallest remaining microbatches for the rear,
+//     shrinking the unfilled tail intervals of Figure 12;
+//  3. iterate: predict the next interval volume with the GETINTERVAL
+//     dynamic program and place the microbatch(es) whose encoder
+//     forward time best fits it — p-1 of them for the first (warmup)
+//     interval, one for each subsequent interval.
+func InterReorder(mbs []Microbatch, p2p []float64) ([]Microbatch, error) {
+	l := len(mbs)
+	if l == 0 {
+		return nil, nil
+	}
+	p := len(mbs[0].Fwd)
+	if p == 0 {
+		return nil, fmt.Errorf("reorder: microbatches carry no stage times")
+	}
+	seen := make(map[int]bool, l)
+	for _, m := range mbs {
+		if len(m.Fwd) != p || len(m.Bwd) != p {
+			return nil, fmt.Errorf("reorder: microbatch %d has inconsistent stage count", m.Index)
+		}
+		if seen[m.Index] {
+			return nil, fmt.Errorf("reorder: duplicate microbatch index %d", m.Index)
+		}
+		seen[m.Index] = true
+	}
+	if l <= 2 || p == 1 {
+		return append([]Microbatch(nil), mbs...), nil
+	}
+
+	pool := append([]Microbatch(nil), mbs...)
+	sortBySize(pool)
+
+	var ret []Microbatch
+	predictor := pipeline.NewIntervalPredictor(p, p2p)
+	intervals := make([]pipeline.Interval, 0, l) // intervals[i-1] = interval_i
+	place := func(m Microbatch) {
+		ret = append(ret, m)
+		intervals = append(intervals, predictor.Append(m.Fwd, m.Bwd))
+	}
+
+	// Line 3: smallest first.
+	place(pool[0])
+	pool = pool[1:]
+
+	// Line 4: reserve the p-1 smallest for the rear.
+	rear := append([]Microbatch(nil), pool[:minInt(p-1, len(pool))]...)
+	pool = pool[len(rear):]
+
+	// Lines 5-11: fill intervals.
+	for i := 1; len(pool) > 0 && i <= l-p; i++ {
+		iv := intervals[i-1]
+		want := 1
+		if i == 1 {
+			want = p - 1
+		}
+		picked := selectClosest(pool, want, iv.Volume())
+		for _, m := range picked {
+			place(m)
+		}
+		pool = removeAll(pool, picked)
+	}
+	// Defensive drain: the paper's loop bound can leave items when l is
+	// small relative to p; keep them before the rear reserve.
+	for _, m := range pool {
+		place(m)
+	}
+	// Line 12: rear microbatches close the pipeline.
+	ret = append(ret, rear...)
+	if len(ret) != l {
+		return nil, fmt.Errorf("reorder: produced %d microbatches from %d", len(ret), l)
+	}
+	return ret, nil
+}
+
+// InterReorderVPP retrofits Algorithm 2 to interleaved 1F1B (§5.3): a
+// physical stage hosts vpp virtual stages, so each microbatch's stage
+// work arrives in vpp finer slices that fill vpp sub-intervals. The
+// fundamental insights carry over unchanged; we model the finer
+// granularity by splitting every stage time into vpp equal virtual
+// chunks before reordering.
+func InterReorderVPP(mbs []Microbatch, p2p []float64, vpp int) ([]Microbatch, error) {
+	if vpp <= 1 {
+		return InterReorder(mbs, p2p)
+	}
+	scaled := make([]Microbatch, len(mbs))
+	for i, m := range mbs {
+		s := Microbatch{Index: m.Index, Fwd: make([]float64, len(m.Fwd)), Bwd: make([]float64, len(m.Bwd))}
+		for j := range m.Fwd {
+			s.Fwd[j] = m.Fwd[j] / float64(vpp)
+			s.Bwd[j] = m.Bwd[j] / float64(vpp)
+		}
+		scaled[i] = s
+	}
+	order, err := InterReorder(scaled, p2p)
+	if err != nil {
+		return nil, err
+	}
+	// Map the virtual-chunk order back onto the original microbatches.
+	byIndex := make(map[int]Microbatch, len(mbs))
+	for _, m := range mbs {
+		byIndex[m.Index] = m
+	}
+	out := make([]Microbatch, len(order))
+	for i, m := range order {
+		out[i] = byIndex[m.Index]
+	}
+	return out, nil
+}
+
+// sortBySize orders ascending by heterogeneous size, stable on index.
+func sortBySize(mbs []Microbatch) {
+	sort.SliceStable(mbs, func(a, b int) bool {
+		sa, sb := mbs[a].HeteroSize(), mbs[b].HeteroSize()
+		if sa != sb {
+			return sa < sb
+		}
+		return mbs[a].Index < mbs[b].Index
+	})
+}
+
+// selectClosest greedily picks up to k microbatches whose cumulative
+// encoder forward time approaches target: each step takes the candidate
+// minimising the distance to the target, stopping early when adding
+// any candidate would move further from it.
+func selectClosest(pool []Microbatch, k int, target float64) []Microbatch {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	remaining := append([]Microbatch(nil), pool...)
+	var picked []Microbatch
+	sum := 0.0
+	for len(picked) < k && len(remaining) > 0 {
+		bestIdx := -1
+		bestDist := math.Abs(sum - target)
+		for i, m := range remaining {
+			d := math.Abs(sum + m.encFwd() - target)
+			if bestIdx == -1 || d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		// Always place at least one microbatch per interval slot; after
+		// that stop if no candidate improves the fit.
+		if len(picked) > 0 && bestDist >= math.Abs(sum-target) {
+			break
+		}
+		m := remaining[bestIdx]
+		picked = append(picked, m)
+		sum += m.encFwd()
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return picked
+}
+
+func (m Microbatch) encFwd() float64 {
+	if len(m.Fwd) == 0 {
+		return 0
+	}
+	return m.Fwd[0]
+}
+
+func removeAll(pool, picked []Microbatch) []Microbatch {
+	gone := make(map[int]bool, len(picked))
+	for _, m := range picked {
+		gone[m.Index] = true
+	}
+	out := pool[:0]
+	for _, m := range pool {
+		if !gone[m.Index] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

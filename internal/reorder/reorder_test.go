@@ -1,0 +1,380 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"disttrain/internal/pipeline"
+)
+
+// --- Algorithm 1: intra-microbatch reordering ---
+
+func TestIntraReorderFigure11(t *testing.T) {
+	// Figure 6/11: four samples, sizes such that naive order [1,2 | 3,4]
+	// puts the two big ones in DP1. LPT must split them.
+	sizes := map[int]float64{1: 10, 2: 3, 3: 9, 4: 2}
+	items := []int{1, 2, 3, 4}
+	ordered, groups, err := IntraReorder(items, func(i int) float64 { return sizes[i] }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ordered) != 4 || len(groups) != 2 {
+		t.Fatalf("shape: %d items, %d groups", len(ordered), len(groups))
+	}
+	load := func(g []int) float64 {
+		s := 0.0
+		for _, i := range g {
+			s += sizes[i]
+		}
+		return s
+	}
+	// Balanced split: {10,2} vs {9,3}.
+	if math.Abs(load(groups[0])-load(groups[1])) > 1.0 {
+		t.Errorf("unbalanced groups: %v=%g vs %v=%g",
+			groups[0], load(groups[0]), groups[1], load(groups[1]))
+	}
+	// Naive split straggler = 19; LPT must beat it.
+	naive := math.Max(sizes[1]+sizes[3], sizes[2]+sizes[4])
+	if got := MaxGroupLoad(groups, func(i int) float64 { return sizes[i] }); got >= naive {
+		t.Errorf("LPT max load %g not better than naive %g", got, naive)
+	}
+}
+
+func TestIntraReorderErrorsAndEdges(t *testing.T) {
+	if _, _, err := IntraReorder([]int{1}, func(int) float64 { return 1 }, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	ordered, groups, err := IntraReorder(nil, func(int) float64 { return 1 }, 3)
+	if err != nil || len(ordered) != 0 || len(groups) != 3 {
+		t.Error("empty input mishandled")
+	}
+	// More groups than items: still a valid partition.
+	_, groups, err = IntraReorder([]int{5, 6}, func(i int) float64 { return float64(i) }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, g := range groups {
+		nonEmpty += len(g)
+	}
+	if nonEmpty != 2 {
+		t.Errorf("items lost: %d placed", nonEmpty)
+	}
+}
+
+// Property: the reordering is a permutation (convergence semantics rest
+// on this) and LPT satisfies its 4/3 approximation bound against the
+// brute-force optimum for small instances.
+func TestIntraReorderPermutationAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) + 2
+		m := rng.Intn(3) + 2
+		sizes := make([]float64, n)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+			sizes[i] = rng.Float64()*10 + 0.1
+		}
+		size := func(i int) float64 { return sizes[i] }
+		ordered, groups, err := IntraReorder(items, size, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Permutation check.
+		seen := make([]bool, n)
+		for _, it := range ordered {
+			if seen[it] {
+				t.Fatalf("item %d duplicated", it)
+			}
+			seen[it] = true
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("item %d lost", i)
+			}
+		}
+		// 4/3-approximation against brute force (m^n assignments).
+		if n <= 7 {
+			opt := bruteForcePartition(sizes, m)
+			got := MaxGroupLoad(groups, size)
+			if got > opt*(4.0/3.0)+1e-9 {
+				t.Fatalf("LPT load %g exceeds 4/3 * OPT %g", got, opt)
+			}
+		}
+	}
+}
+
+func bruteForcePartition(sizes []float64, m int) float64 {
+	n := len(sizes)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			loads := make([]float64, m)
+			for j, g := range assign {
+				loads[g] += sizes[j]
+			}
+			worst := 0.0
+			for _, l := range loads {
+				worst = math.Max(worst, l)
+			}
+			best = math.Min(best, worst)
+			return
+		}
+		for g := 0; g < m; g++ {
+			assign[i] = g
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// --- Algorithm 2: inter-microbatch reordering ---
+
+// randomMBs builds l microbatches over p stages with a heterogeneous
+// first (encoder) and last (generator) stage and a constant LLM middle.
+func randomMBs(rng *rand.Rand, l, p int) []Microbatch {
+	out := make([]Microbatch, l)
+	for i := range out {
+		fwd := make([]float64, p)
+		bwd := make([]float64, p)
+		for s := 0; s < p; s++ {
+			switch s {
+			case 0, p - 1:
+				fwd[s] = 0.2 + rng.Float64()*1.5
+			default:
+				fwd[s] = 1.0
+			}
+			bwd[s] = 2 * fwd[s]
+		}
+		out[i] = Microbatch{Index: i, Fwd: fwd, Bwd: bwd}
+	}
+	return out
+}
+
+func simulateOrder(t *testing.T, order []Microbatch) float64 {
+	t.Helper()
+	p := len(order[0].Fwd)
+	w := pipeline.Work{Fwd: make([][]float64, p), Bwd: make([][]float64, p)}
+	for s := 0; s < p; s++ {
+		w.Fwd[s] = make([]float64, len(order))
+		w.Bwd[s] = make([]float64, len(order))
+		for m, mb := range order {
+			w.Fwd[s][m] = mb.Fwd[s]
+			w.Bwd[s][m] = mb.Bwd[s]
+		}
+	}
+	res, err := pipeline.Simulate(pipeline.OneFOneB, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IterTime
+}
+
+func TestInterReorderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		l := rng.Intn(12) + 1
+		p := rng.Intn(4) + 2
+		mbs := randomMBs(rng, l, p)
+		got, err := InterReorder(mbs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != l {
+			t.Fatalf("returned %d of %d microbatches", len(got), l)
+		}
+		var idx []int
+		for _, m := range got {
+			idx = append(idx, m.Index)
+		}
+		sort.Ints(idx)
+		for i, v := range idx {
+			if v != i {
+				t.Fatalf("not a permutation: %v", idx)
+			}
+		}
+	}
+}
+
+func TestInterReorderValidation(t *testing.T) {
+	if _, err := InterReorder([]Microbatch{{Index: 0}}, nil); err == nil {
+		t.Error("empty stage times accepted")
+	}
+	bad := []Microbatch{
+		{Index: 0, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+		{Index: 0, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+		{Index: 2, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+		{Index: 3, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+	}
+	if _, err := InterReorder(bad, nil); err == nil {
+		t.Error("duplicate indices accepted")
+	}
+	mismatch := []Microbatch{
+		{Index: 0, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+		{Index: 1, Fwd: []float64{1}, Bwd: []float64{2}},
+		{Index: 2, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+		{Index: 3, Fwd: []float64{1, 1}, Bwd: []float64{2, 2}},
+	}
+	if _, err := InterReorder(mismatch, nil); err == nil {
+		t.Error("inconsistent stage counts accepted")
+	}
+	out, err := InterReorder(nil, nil)
+	if err != nil || out != nil {
+		t.Error("nil input mishandled")
+	}
+}
+
+// The reordering must not hurt — and usually helps — pipeline makespan
+// versus random order, across many heterogeneous workloads. This is the
+// mechanism behind Figure 16's gains.
+func TestInterReorderImprovesMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	improved, regressions := 0, 0
+	var worstRegression float64
+	trials := 60
+	for trial := 0; trial < trials; trial++ {
+		l := rng.Intn(10) + 8
+		p := rng.Intn(3) + 3
+		mbs := randomMBs(rng, l, p)
+		before := simulateOrder(t, mbs)
+		order, err := InterReorder(mbs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := simulateOrder(t, order)
+		if after < before-1e-9 {
+			improved++
+		}
+		if after > before*1.02 {
+			regressions++
+			worstRegression = math.Max(worstRegression, after/before)
+		}
+	}
+	if improved < trials/2 {
+		t.Errorf("reordering improved only %d/%d workloads", improved, trials)
+	}
+	if regressions > trials/10 {
+		t.Errorf("reordering regressed %d/%d workloads (worst %.3fx)", regressions, trials, worstRegression)
+	}
+}
+
+// Rear reservation: the smallest microbatches (after the opener) must
+// land at the end of the order, shrinking the unfilled tail intervals.
+func TestInterReorderRearIsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l, p := 12, 4
+	mbs := randomMBs(rng, l, p)
+	order, err := InterReorder(mbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := append([]Microbatch(nil), mbs...)
+	sortBySize(bySize)
+	smallSet := map[int]bool{}
+	for _, m := range bySize[:p] { // opener + p-1 rear candidates
+		smallSet[m.Index] = true
+	}
+	rear := order[len(order)-(p-1):]
+	for _, m := range rear {
+		if !smallSet[m.Index] {
+			t.Errorf("rear microbatch %d (size %.2f) is not among the smallest",
+				m.Index, m.HeteroSize())
+		}
+	}
+	// The opener is the single smallest.
+	if order[0].Index != bySize[0].Index {
+		t.Errorf("first microbatch %d is not the smallest (%d)", order[0].Index, bySize[0].Index)
+	}
+}
+
+func TestInterReorderVPP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mbs := randomMBs(rng, 10, 4)
+	plain, err := InterReorder(mbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpp, err := InterReorderVPP(mbs, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vpp) != len(plain) {
+		t.Fatal("VPP variant lost microbatches")
+	}
+	// Still a permutation, with original (unscaled) times restored.
+	seen := map[int]bool{}
+	for _, m := range vpp {
+		if seen[m.Index] {
+			t.Fatal("duplicate in VPP order")
+		}
+		seen[m.Index] = true
+		if m.Fwd[0] != mbs[m.Index].Fwd[0] {
+			t.Fatal("VPP variant must return original stage times")
+		}
+	}
+	// vpp=1 falls back to the plain algorithm.
+	one, err := InterReorderVPP(mbs, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one {
+		if one[i].Index != plain[i].Index {
+			t.Fatal("vpp=1 must match plain InterReorder")
+		}
+	}
+}
+
+// Property: permutation preservation for arbitrary sizes via quick.
+func TestInterReorderPermutationProperty(t *testing.T) {
+	f := func(raw []uint8, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		p := int(pRaw%4) + 2
+		mbs := make([]Microbatch, len(raw))
+		for i, r := range raw {
+			fwd := make([]float64, p)
+			bwd := make([]float64, p)
+			for s := range fwd {
+				fwd[s] = float64(r%16)/4 + 0.1
+				bwd[s] = 2 * fwd[s]
+			}
+			mbs[i] = Microbatch{Index: i, Fwd: fwd, Bwd: bwd}
+		}
+		out, err := InterReorder(mbs, nil)
+		if err != nil || len(out) != len(mbs) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, m := range out {
+			if seen[m.Index] {
+				return false
+			}
+			seen[m.Index] = true
+		}
+		return len(seen) == len(mbs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeteroSize(t *testing.T) {
+	m := Microbatch{Fwd: []float64{3, 10, 10, 4}}
+	if got := m.HeteroSize(); got != 7 {
+		t.Errorf("HeteroSize = %g, want encoder+generator = 7", got)
+	}
+	if (Microbatch{}).HeteroSize() != 0 {
+		t.Error("empty microbatch size should be 0")
+	}
+}

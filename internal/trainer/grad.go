@@ -1,0 +1,113 @@
+package trainer
+
+import (
+	"math"
+	"sort"
+
+	"disttrain/internal/data"
+)
+
+// GradientAccumulator demonstrates the convergence-semantics argument
+// of §5: both reordering levels only permute the order in which
+// per-sample gradients enter the gradient-accumulation sum, and
+// summation is commutative, so the global gradient of an iteration is
+// unchanged. The accumulator computes a deterministic pseudo-gradient
+// per sample and folds it in two ways:
+//
+//   - an exact integer path (wrap-around int64 vector addition), where
+//     permutation invariance holds bit-for-bit;
+//   - a float64 path, where invariance holds up to rounding —
+//     quantified against the order-canonical (sorted) summation.
+type GradientAccumulator struct {
+	Dim int
+}
+
+// SampleGradient derives the deterministic pseudo-gradient of one
+// sample from its identity and shape. The derivation mixes the sample
+// index through a splitmix64 round per dimension so distinct samples
+// contribute distinct, uncorrelated vectors.
+func (g GradientAccumulator) SampleGradient(s data.Sample) []int64 {
+	out := make([]int64, g.Dim)
+	seed := uint64(s.Index)*0x9e3779b97f4a7c15 + uint64(s.TotalImageTokens())
+	for k := range out {
+		z := seed + uint64(k+1)*0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[k] = int64(z)
+	}
+	return out
+}
+
+// AccumulateInt folds the samples' gradients in the given order with
+// exact wrap-around addition. Any permutation of samples yields an
+// identical result.
+func (g GradientAccumulator) AccumulateInt(samples []data.Sample) []int64 {
+	acc := make([]int64, g.Dim)
+	for _, s := range samples {
+		grad := g.SampleGradient(s)
+		for k := range acc {
+			acc[k] += grad[k] // wrap-around: associative and commutative
+		}
+	}
+	return acc
+}
+
+// AccumulateFloat folds float64 projections of the gradients in order
+// and returns the accumulated vector.
+func (g GradientAccumulator) AccumulateFloat(samples []data.Sample) []float64 {
+	acc := make([]float64, g.Dim)
+	for _, s := range samples {
+		grad := g.SampleGradient(s)
+		for k := range acc {
+			acc[k] += float64(grad[k]) / (1 << 32)
+		}
+	}
+	return acc
+}
+
+// CanonicalFloat computes the order-independent reference: per
+// dimension, the summands are sorted before summation.
+func (g GradientAccumulator) CanonicalFloat(samples []data.Sample) []float64 {
+	cols := make([][]float64, g.Dim)
+	for _, s := range samples {
+		grad := g.SampleGradient(s)
+		for k := range cols {
+			cols[k] = append(cols[k], float64(grad[k])/(1<<32))
+		}
+	}
+	acc := make([]float64, g.Dim)
+	for k, col := range cols {
+		sort.Float64s(col)
+		for _, v := range col {
+			acc[k] += v
+		}
+	}
+	return acc
+}
+
+// MaxRelError returns the worst per-dimension relative error between
+// two accumulations.
+func MaxRelError(a, b []float64) float64 {
+	worst := 0.0
+	for k := range a {
+		denom := math.Max(math.Abs(a[k]), math.Abs(b[k]))
+		if denom == 0 {
+			continue
+		}
+		worst = math.Max(worst, math.Abs(a[k]-b[k])/denom)
+	}
+	return worst
+}
+
+// EqualInt reports exact equality of integer gradients.
+func EqualInt(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

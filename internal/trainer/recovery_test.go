@@ -1,0 +1,122 @@
+package trainer
+
+import (
+	"testing"
+
+	"disttrain/internal/dfs"
+	"disttrain/internal/model"
+	"disttrain/internal/orchestrator"
+)
+
+// TestFailureRecovery exercises the §6 fault-tolerance path: a training
+// run crashes, and a fresh runtime pointed at the same DFS recovers the
+// latest checkpoint and resumes from it, losing at most one checkpoint
+// interval of work.
+func TestFailureRecovery(t *testing.T) {
+	spec, corpus := buildSpec(t, model.MLLM9B(), 4, 16, model.FullTraining)
+	plan, err := orchestrator.PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New()
+
+	// First run: train 7 iterations with a checkpoint every 2, then
+	// "crash" (the runtime simply goes away; the DFS survives).
+	cfg := DistTrainConfig(spec, plan, corpus)
+	cfg.CheckpointEvery = 2
+	cfg.FS = fs
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	// Recovery: a new checkpoint manager over the same DFS finds the
+	// last completed save (iteration 6).
+	mgr := dfs.NewCheckpointManager(fs, "train")
+	defer mgr.Close()
+	ck, err := mgr.Latest()
+	if err != nil {
+		t.Fatalf("no checkpoint to recover: %v", err)
+	}
+	if ck.Step != 6 {
+		t.Fatalf("recovered step %d, want 6 (iterations 2,4,6 checkpointed)", ck.Step)
+	}
+
+	// Resume: a fresh runtime continues from the recovered step; the
+	// corpus is deterministic, so iteration ck.Step+1 sees exactly the
+	// batch it would have seen without the crash.
+	rt2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	resumed, err := rt2.RunIteration(ck.Step + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := rt2.RunIteration(ck.Step + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.FLOPs != direct.FLOPs || resumed.Breakdown.Pipeline != direct.Breakdown.Pipeline {
+		t.Error("resumed iteration diverges from the uninterrupted schedule")
+	}
+}
+
+// TestCheckpointBackPressure verifies the exposed-stall accounting:
+// checkpoints that write faster than the interval cost nothing; a DFS
+// slower than the training cadence surfaces as CheckpointStall.
+func TestCheckpointBackPressure(t *testing.T) {
+	spec, corpus := buildSpec(t, model.MLLM9B(), 4, 16, model.FullTraining)
+	plan, err := orchestrator.PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := dfs.New() // multi-GB/s: checkpoints hide behind iterations
+	cfg := DistTrainConfig(spec, plan, corpus)
+	cfg.CheckpointEvery = 2
+	cfg.FS = fast
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(5)
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Iterations {
+		if it.Breakdown.CheckpointStall > 0 {
+			t.Errorf("fast DFS should hide checkpointing, iter %d stalled %.3fs",
+				it.Index, it.Breakdown.CheckpointStall)
+		}
+	}
+
+	slow := dfs.New()
+	slow.WriteBps = 1e6 // a pathological 1 MB/s archive tier
+	cfg2 := cfg
+	cfg2.FS = slow
+	rt2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := rt2.Run(5)
+	rt2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := false
+	for _, it := range res2.Iterations {
+		if it.Breakdown.CheckpointStall > 0 {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Error("pathologically slow DFS should surface checkpoint back-pressure")
+	}
+}

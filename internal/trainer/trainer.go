@@ -1,0 +1,532 @@
+// Package trainer is the DistTrain runtime of §3: it executes training
+// iterations over an orchestration plan — fetch a global batch
+// (disaggregated or co-located preprocessing), reorder it (Algorithms 1
+// and 2), drive every data-parallel pipeline through the 1F1B schedule
+// with per-microbatch heterogeneous stage times, synchronise gradients
+// with ZeRO-1, step the optimizer, and asynchronously checkpoint to the
+// DFS. All GPU work is charged through the calibrated profiler; all
+// control decisions (assignment, ordering, straggler propagation) are
+// executed for real.
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"disttrain/internal/comm"
+	"disttrain/internal/data"
+	"disttrain/internal/dfs"
+	"disttrain/internal/metrics"
+	"disttrain/internal/model"
+	"disttrain/internal/orchestrator"
+	"disttrain/internal/pipeline"
+	"disttrain/internal/reorder"
+)
+
+// Config describes one training run.
+type Config struct {
+	Spec   orchestrator.Spec
+	Plan   *orchestrator.Plan
+	Corpus *data.Corpus
+
+	// Reorder enables DistTrain's dual-level data reordering (§5); off,
+	// samples are consumed in corpus order (the Megatron-LM baseline of
+	// Figure 16).
+	Reorder bool
+	// DisaggregatedPreprocess moves preprocessing to dedicated CPU
+	// nodes; off, the training nodes preprocess inline and stall (§2.3,
+	// Figure 17).
+	DisaggregatedPreprocess bool
+	// AsyncP2P uses DistTrain's asynchronous inter-unit sends (§6);
+	// off, Megatron-LM's synchronous batched send/receive exposes the
+	// full transfer on the critical path.
+	AsyncP2P bool
+	// PreprocessCost prices co-located preprocessing CPU work.
+	PreprocessCost data.CostModel
+	// SyncOverlap is the fraction of gradient synchronisation hidden
+	// behind backward compute (production overlapping, §9-cited works).
+	SyncOverlap float64
+	// CheckpointEvery saves a checkpoint every n iterations (0 = off).
+	CheckpointEvery int
+	// FS receives checkpoints; defaults to a fresh simulated DFS.
+	FS *dfs.FS
+}
+
+// DistTrainConfig returns the production configuration for a plan: all
+// DistTrain techniques enabled.
+func DistTrainConfig(spec orchestrator.Spec, plan *orchestrator.Plan, corpus *data.Corpus) Config {
+	return Config{
+		Spec: spec, Plan: plan, Corpus: corpus,
+		Reorder:                 true,
+		DisaggregatedPreprocess: true,
+		AsyncP2P:                true,
+		PreprocessCost:          data.DefaultCostModel(),
+		SyncOverlap:             0.7,
+	}
+}
+
+// MegatronConfig returns the monolithic baseline configuration: random
+// (corpus) order, co-located preprocessing, synchronous sends.
+func MegatronConfig(spec orchestrator.Spec, plan *orchestrator.Plan, corpus *data.Corpus) Config {
+	return Config{
+		Spec: spec, Plan: plan, Corpus: corpus,
+		Reorder:                 false,
+		DisaggregatedPreprocess: false,
+		AsyncP2P:                false,
+		PreprocessCost:          data.DefaultCostModel(),
+		SyncOverlap:             0.7,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Plan == nil {
+		return errors.New("trainer: nil plan")
+	}
+	if c.Corpus == nil {
+		return errors.New("trainer: nil corpus")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.SyncOverlap < 0 || c.SyncOverlap > 1 {
+		return fmt.Errorf("trainer: SyncOverlap %g outside [0,1]", c.SyncOverlap)
+	}
+	return nil
+}
+
+// IterationStats records one iteration.
+type IterationStats struct {
+	Index     int
+	Breakdown metrics.Breakdown
+	// BubbleFrac is the mean pipeline bubble fraction of the slowest DP
+	// rank's pipeline.
+	BubbleFrac float64
+	// StragglerSpread is (max-min)/max pipeline time across DP ranks —
+	// the intra-microbatch straggler penalty.
+	StragglerSpread float64
+	// FLOPs is model compute executed this iteration.
+	FLOPs float64
+	// MFU is this iteration's Model FLOPs Utilization.
+	MFU float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Strategy   string
+	GPUs       int
+	Iterations []IterationStats
+	// MeanIterTime in seconds, MFU and TokensPerSec aggregated over all
+	// iterations.
+	MeanIterTime float64
+	MFU          float64
+	TokensPerSec float64
+	// CheckpointsSaved counts asynchronous checkpoints that reached the
+	// DFS.
+	CheckpointsSaved int
+}
+
+// Runtime executes iterations for a fixed configuration.
+type Runtime struct {
+	cfg  Config
+	ckpt *dfs.CheckpointManager
+	fs   *dfs.FS
+	// stage geometry
+	stages   int
+	llmFirst int // index of first LLM stage
+	genStage int
+	p2p      []float64
+}
+
+// New validates the config and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{cfg: cfg}
+	lm := cfg.Plan.Modules[model.Backbone].Config
+	r.stages = 1 + lm.PP + 1
+	r.llmFirst = 1
+	r.genStage = r.stages - 1
+	r.p2p = r.buildP2P()
+	if cfg.CheckpointEvery > 0 {
+		r.fs = cfg.FS
+		if r.fs == nil {
+			r.fs = dfs.New()
+		}
+		r.ckpt = dfs.NewCheckpointManager(r.fs, "train")
+	}
+	return r, nil
+}
+
+// Close releases the checkpoint writer.
+func (r *Runtime) Close() {
+	if r.ckpt != nil {
+		r.ckpt.Close()
+	}
+}
+
+// buildP2P prices the inter-stage activation transfers. Links between
+// parallelism units ride the communication brokers over RDMA; LLM-
+// internal links are plain pipeline sends. Asynchronous sends hide
+// most of the transfer (§6); synchronous batched sends expose it all.
+func (r *Runtime) buildP2P() []float64 {
+	spec := r.cfg.Spec
+	m := spec.Model
+	bytesLM := float64(spec.Microbatch) * float64(m.SeqLen) * float64(m.Backbone.HiddenSize) * 2
+	cost := comm.CollectiveCost{
+		BandwidthBps: spec.Cluster.CrossNodeBandwidthPerGPU(),
+		Latency:      spec.Cluster.LinkLatency,
+	}
+	exposed := 1.0
+	if r.cfg.AsyncP2P {
+		exposed = 0.2
+	}
+	p2p := make([]float64, r.stages-1)
+	for i := range p2p {
+		p2p[i] = cost.P2P(bytesLM) * exposed
+	}
+	return p2p
+}
+
+// microbatchWork builds the per-stage fwd/bwd durations of one
+// microbatch (one sample when M=1) by charging each module's share of
+// the sample through the profiler and the plan's allocation ratios.
+func (r *Runtime) microbatchWork(shape model.SampleShape) (fwd, bwd []float64) {
+	spec := r.cfg.Spec
+	plan := r.cfg.Plan
+	p := spec.Profiler
+	mbs := float64(spec.Microbatch)
+	dpLM := float64(plan.Modules[model.Backbone].Config.DP)
+
+	fwd = make([]float64, r.stages)
+	bwd = make([]float64, r.stages)
+
+	// Encoder stage: per-LLM-rank share of the encoder pool.
+	enc := plan.Modules[model.Encoder]
+	wE := enc.Config.ModelParallelWidth()
+	scaleE := float64(wE) * dpLM * mbs / float64(enc.GPUs())
+	fwdE := p.SampleForward(model.Encoder, wE, shape)
+	totE := p.SampleTrain(model.Encoder, wE, shape)
+	fwd[0] = fwdE * scaleE
+	bwd[0] = (totE - fwdE) * scaleE
+
+	// LLM stages: homogeneous across microbatches (fixed-length packed
+	// sequences, §2.3).
+	lm := plan.Modules[model.Backbone]
+	fwdL := p.SampleForward(model.Backbone, lm.Config.ModelParallelWidth(), shape)
+	totL := p.SampleTrain(model.Backbone, lm.Config.ModelParallelWidth(), shape)
+	perStageF := fwdL * mbs / float64(lm.Config.PP)
+	perStageB := (totL - fwdL) * mbs / float64(lm.Config.PP)
+	for s := r.llmFirst; s < r.genStage; s++ {
+		fwd[s] = perStageF
+		bwd[s] = perStageB
+	}
+
+	// Generator stage.
+	gen := plan.Modules[model.Generator]
+	wG := gen.Config.ModelParallelWidth()
+	scaleG := float64(wG) * dpLM * mbs / float64(gen.GPUs())
+	fwdG := p.SampleForward(model.Generator, wG, shape)
+	totG := p.SampleTrain(model.Generator, wG, shape)
+	fwd[r.genStage] = fwdG * scaleG
+	bwd[r.genStage] = (totG - fwdG) * scaleG
+	return fwd, bwd
+}
+
+// assign distributes the global batch across DP ranks: DistTrain's
+// Algorithm 1 when reordering, contiguous blocks (the framework
+// default) otherwise. Each rank's samples are then grouped into
+// K microbatches of M samples.
+func (r *Runtime) assign(batch []data.Sample) ([][]data.Sample, error) {
+	dp := r.cfg.Plan.Modules[model.Backbone].Config.DP
+	perRank := len(batch) / dp
+	if perRank*dp != len(batch) {
+		return nil, fmt.Errorf("trainer: batch %d not divisible by DP %d", len(batch), dp)
+	}
+	if !r.cfg.Reorder {
+		out := make([][]data.Sample, dp)
+		for d := 0; d < dp; d++ {
+			out[d] = batch[d*perRank : (d+1)*perRank]
+		}
+		return out, nil
+	}
+	p := r.cfg.Spec.Profiler
+	size := func(s data.Sample) float64 {
+		sh := s.Shape()
+		return p.SampleTrain(model.Encoder, 1, sh) + p.SampleTrain(model.Generator, 1, sh)
+	}
+	_, groups, err := reorder.IntraReorder(batch, size, dp)
+	if err != nil {
+		return nil, err
+	}
+	// The LPT partition balances load but may leave groups of unequal
+	// cardinality; rebalance counts while preserving the size ordering
+	// (each rank must own exactly K*M samples for synchronous 1F1B).
+	return rebalance(groups, perRank), nil
+}
+
+// rebalance moves surplus samples (smallest first, so balance damage is
+// minimal) from overfull groups to underfull ones.
+func rebalance(groups [][]data.Sample, perRank int) [][]data.Sample {
+	var surplus []data.Sample
+	for d := range groups {
+		if len(groups[d]) > perRank {
+			surplus = append(surplus, groups[d][perRank:]...)
+			groups[d] = groups[d][:perRank]
+		}
+	}
+	for d := range groups {
+		for len(groups[d]) < perRank && len(surplus) > 0 {
+			groups[d] = append(groups[d], surplus[len(surplus)-1])
+			surplus = surplus[:len(surplus)-1]
+		}
+	}
+	return groups
+}
+
+// RunIteration executes one training iteration and returns its stats.
+func (r *Runtime) RunIteration(iter int) (IterationStats, error) {
+	cfg := r.cfg
+	spec := cfg.Spec
+	batch := cfg.Corpus.GlobalBatch(int64(iter), spec.GlobalBatch)
+
+	var bd metrics.Breakdown
+
+	// 1. Data arrival. Disaggregated preprocessing only pays the
+	// (prefetched) tensor receive; the co-located stall is priced after
+	// the pipeline time is known, because dataloader workers overlap
+	// with training and only the overflow plus CPU interference is
+	// exposed (§2.3, Figure 17).
+	dp := cfg.Plan.Modules[model.Backbone].Config.DP
+	perRank := len(batch) / dp
+	colocatedCPU := 0.0
+	if cfg.DisaggregatedPreprocess {
+		tokens := float64(perRank) * float64(spec.Model.SeqLen)
+		bd.PreprocessStall = tokens*2/spec.Cluster.CrossNodeBandwidthPerGPU() + 2e-3
+	} else {
+		for d := 0; d < dp; d++ {
+			stall := cfg.PreprocessCost.NodeStallSeconds(batch[d*perRank : (d+1)*perRank])
+			colocatedCPU = math.Max(colocatedCPU, stall)
+		}
+	}
+
+	// 2. Assignment across DP ranks (Algorithm 1 when reordering).
+	ranks, err := r.assign(batch)
+	if err != nil {
+		return IterationStats{}, err
+	}
+
+	// 3. Per-rank microbatch construction, Algorithm 2 ordering, and
+	// exact 1F1B simulation.
+	m := spec.Microbatch
+	worstPipe, bestPipe := 0.0, math.Inf(1)
+	worstBubble := 0.0
+	for d := range ranks {
+		k := len(ranks[d]) / m
+		mbs := make([]reorder.Microbatch, k)
+		for j := 0; j < k; j++ {
+			// A microbatch of M samples: aggregate their shapes.
+			shape := aggregateShape(ranks[d][j*m : (j+1)*m])
+			fwd, bwd := r.microbatchWork(shape)
+			mbs[j] = reorder.Microbatch{Index: j, Fwd: fwd, Bwd: bwd}
+		}
+		if cfg.Reorder {
+			vpp := cfg.Plan.Modules[model.Backbone].Config.VPP
+			mbs, err = reorder.InterReorderVPP(mbs, r.p2p, vpp)
+			if err != nil {
+				return IterationStats{}, err
+			}
+		}
+		work := pipeline.Work{
+			Fwd: make([][]float64, r.stages),
+			Bwd: make([][]float64, r.stages),
+			P2P: r.p2p,
+		}
+		for s := 0; s < r.stages; s++ {
+			work.Fwd[s] = make([]float64, k)
+			work.Bwd[s] = make([]float64, k)
+			for j, mb := range mbs {
+				work.Fwd[s][j] = mb.Fwd[s]
+				work.Bwd[s][j] = mb.Bwd[s]
+			}
+		}
+		res, err := pipeline.Simulate(pipeline.OneFOneB, work)
+		if err != nil {
+			return IterationStats{}, err
+		}
+		if res.IterTime > worstPipe {
+			worstPipe = res.IterTime
+			worstBubble = res.MeanBubbleFraction()
+		}
+		bestPipe = math.Min(bestPipe, res.IterTime)
+	}
+	bd.Pipeline = worstPipe
+
+	// Co-located preprocessing: workers hide up to half the pipeline
+	// time; the rest of the CPU work stalls training, and whatever does
+	// overlap still interferes with the host-side training path.
+	if !cfg.DisaggregatedPreprocess {
+		const (
+			overlapCapacity = 0.5
+			interference    = 0.15
+		)
+		hidden := math.Min(colocatedCPU, overlapCapacity*worstPipe)
+		bd.PreprocessStall = (colocatedCPU - hidden) + interference*hidden
+	}
+
+	// 4. Gradient synchronisation (ZeRO-1) per module, concurrent on
+	// disjoint GPU sets: the slowest exposed sync gates the iteration.
+	bd.GradSync = r.gradSync()
+
+	// 5. Optimizer step: memory-bound update of the local shard.
+	bd.Optimizer = r.optimizerStep()
+
+	// 6. Asynchronous checkpointing back-pressure.
+	if r.ckpt != nil && cfg.CheckpointEvery > 0 && iter > 0 && iter%cfg.CheckpointEvery == 0 {
+		state := []byte(fmt.Sprintf("iter-%d", iter))
+		if err := r.ckpt.Save(dfs.Checkpoint{Step: iter, State: state}); err != nil {
+			return IterationStats{}, err
+		}
+		ckptSeconds := r.checkpointSeconds()
+		budget := float64(cfg.CheckpointEvery) * worstPipe
+		if ckptSeconds > budget {
+			bd.CheckpointStall = ckptSeconds - budget
+		}
+	}
+
+	flops := r.iterationFLOPs(batch)
+	total := bd.Total()
+	stats := IterationStats{
+		Index:           iter,
+		Breakdown:       bd,
+		BubbleFrac:      worstBubble,
+		StragglerSpread: (worstPipe - bestPipe) / math.Max(worstPipe, 1e-12),
+		FLOPs:           flops,
+		MFU:             metrics.MFU(flops, cfg.Plan.TotalGPUs(), spec.Cluster.GPU.PeakFLOPS, total),
+	}
+	return stats, nil
+}
+
+// Run executes n iterations and aggregates.
+func (r *Runtime) Run(n int) (*Result, error) {
+	if n <= 0 {
+		return nil, errors.New("trainer: need at least one iteration")
+	}
+	res := &Result{Strategy: r.cfg.Plan.Strategy, GPUs: r.cfg.Plan.TotalGPUs()}
+	var timeSum, flopSum float64
+	for i := 0; i < n; i++ {
+		st, err := r.RunIteration(i)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, st)
+		timeSum += st.Breakdown.Total()
+		flopSum += st.FLOPs
+	}
+	res.MeanIterTime = timeSum / float64(n)
+	res.MFU = metrics.MFU(flopSum, res.GPUs, r.cfg.Spec.Cluster.GPU.PeakFLOPS, timeSum)
+	res.TokensPerSec = metrics.Throughput(r.cfg.Spec.GlobalBatch, r.cfg.Spec.Model.SeqLen, res.MeanIterTime)
+	if r.ckpt != nil {
+		r.ckpt.Flush()
+		res.CheckpointsSaved = r.ckpt.Saved()
+	}
+	return res, nil
+}
+
+// gradSync returns the exposed gradient/parameter synchronisation time:
+// each module reduce-scatters gradients and all-gathers parameters
+// across its DP group, partially hidden behind backward compute.
+func (r *Runtime) gradSync() float64 {
+	spec := r.cfg.Spec
+	freeze := spec.Profiler.Options().Freeze
+	cost := comm.CollectiveCost{
+		BandwidthBps: spec.Cluster.CrossNodeBandwidthPerGPU(),
+		Latency:      spec.Cluster.LinkLatency,
+	}
+	worst := 0.0
+	for _, mp := range r.cfg.Plan.Modules {
+		if freeze.Frozen(mp.Module) {
+			continue
+		}
+		params := spec.Model.Params(mp.Module) / float64(mp.Config.ModelParallelWidth()*mp.Config.PP)
+		dp := mp.Config.DP
+		if mp.Replicated {
+			dp = mp.GPUs() / mp.Config.PP
+			params = spec.Model.Params(mp.Module)
+		}
+		t := comm.ZeRO1GradSync(cost, params, dp)
+		worst = math.Max(worst, t*(1-r.cfg.SyncOverlap))
+	}
+	return worst
+}
+
+// optimizerStep prices the ZeRO-1 sharded Adam update: ~32 bytes of
+// reads+writes per locally owned parameter, memory-bound.
+func (r *Runtime) optimizerStep() float64 {
+	spec := r.cfg.Spec
+	freeze := spec.Profiler.Options().Freeze
+	worst := 0.0
+	for _, mp := range r.cfg.Plan.Modules {
+		if freeze.Frozen(mp.Module) {
+			continue
+		}
+		shard := spec.Model.Params(mp.Module) / float64(mp.GPUs())
+		t := shard * 32 / spec.Cluster.GPU.MemoryBWBytes
+		worst = math.Max(worst, t)
+	}
+	return worst
+}
+
+// checkpointSeconds prices one full checkpoint write to the DFS:
+// trainable parameters plus optimizer state. ZeRO-1 makes optimizer
+// shards disjoint across every GPU of a module, so all of a trainable
+// module's GPUs stream their own shards in parallel.
+func (r *Runtime) checkpointSeconds() float64 {
+	spec := r.cfg.Spec
+	freeze := spec.Profiler.Options().Freeze
+	var bytes float64
+	writers := 0
+	for _, mp := range r.cfg.Plan.Modules {
+		if freeze.Frozen(mp.Module) {
+			continue
+		}
+		bytes += spec.Model.Params(mp.Module) * (model.BytesPerParam + model.BytesPerOptimState)
+		writers += mp.GPUs()
+	}
+	if writers == 0 {
+		return 0
+	}
+	fs := r.fs
+	if fs == nil {
+		fs = dfs.New()
+	}
+	return fs.Latency + bytes/(fs.WriteBps*float64(writers))
+}
+
+// iterationFLOPs sums the model FLOPs executed for the batch under the
+// freeze setting.
+func (r *Runtime) iterationFLOPs(batch []data.Sample) float64 {
+	freeze := r.cfg.Spec.Profiler.Options().Freeze
+	var total float64
+	for _, s := range batch {
+		shape := s.Shape()
+		for _, mod := range model.Modules {
+			fwd, bwd := r.cfg.Spec.Model.ModuleTrainFLOPs(mod, shape, freeze)
+			total += fwd + bwd
+		}
+	}
+	return total
+}
+
+// aggregateShape merges the shapes of a microbatch's samples.
+func aggregateShape(samples []data.Sample) model.SampleShape {
+	var out model.SampleShape
+	for _, s := range samples {
+		sh := s.Shape()
+		out.ImageTokens = append(out.ImageTokens, sh.ImageTokens...)
+		out.GenImages += sh.GenImages
+	}
+	return out
+}
