@@ -1,0 +1,33 @@
+# Tier-1 verification, one command: `make ci` mirrors the GitHub
+# Actions workflow (.github/workflows/ci.yml) step for step.
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# fmt fails (like CI) when any file needs gofmt; run `gofmt -w .` to fix.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench is the smoke run: every benchmark once, no measurement loops.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build fmt vet race bench

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -92,6 +93,60 @@ func BenchmarkPlannerDistTrain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := orchestrator.PlanDistTrain(spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSearch compares the sequential reference enumeration
+// against the parallel search engine at increasing worker counts, on
+// the same largest-scale spec as BenchmarkPlannerDistTrain. On a
+// multi-core machine the parallel variants should beat sequential
+// wall-clock; the chosen plan is byte-identical in every variant.
+func BenchmarkPlanSearch(b *testing.B) {
+	spec := benchSpec(b, model.MLLM72B(), 162, 1920)
+	// Warm the profiler's cost memo once so every variant measures
+	// search work, not first-touch cache fills.
+	if _, err := orchestrator.PlanDistTrainSequential(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := orchestrator.PlanDistTrainSequential(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, par := range workerCounts {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			opts := orchestrator.SearchOptions{Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := orchestrator.PlanDistTrainCtx(context.Background(), spec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanMany measures the fleet-sweep path: four cluster shapes
+// planned concurrently over one shared worker pool.
+func BenchmarkPlanMany(b *testing.B) {
+	specs := []orchestrator.Spec{
+		benchSpec(b, model.MLLM9B(), 12, 96),
+		benchSpec(b, model.MLLM9B(), 24, 96),
+		benchSpec(b, model.MLLM15B(), 12, 96),
+		benchSpec(b, model.MLLM15B(), 24, 96),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range orchestrator.PlanMany(context.Background(), specs, orchestrator.SearchOptions{}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

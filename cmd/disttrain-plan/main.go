@@ -5,12 +5,20 @@
 // Example:
 //
 //	disttrain-plan -model 72b -nodes 162 -batch 1920 -strategy all
+//
+// The DistTrain planner runs on the parallel plan-search engine; tune
+// the worker pool with -parallelism (0 = GOMAXPROCS). A fleet sweep
+// plans one task per cluster size concurrently over a shared pool:
+//
+//	disttrain-plan -model 9b -batch 128 -sweep 4,8,12,24
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"disttrain"
@@ -18,11 +26,13 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "9b", "model preset: 9b, 15b or 72b")
-		nodes     = flag.Int("nodes", 12, "cluster size in 8-GPU nodes")
-		batch     = flag.Int("batch", 128, "global batch size (samples per iteration)")
-		strategy  = flag.String("strategy", "all", "disttrain, megatron, distmm or all")
-		freeze    = flag.String("freeze", "full", "full, all-frozen, encoder-only, llm-only or generator-only")
+		modelName   = flag.String("model", "9b", "model preset: 9b, 15b or 72b")
+		nodes       = flag.Int("nodes", 12, "cluster size in 8-GPU nodes")
+		batch       = flag.Int("batch", 128, "global batch size (samples per iteration)")
+		strategy    = flag.String("strategy", "all", "disttrain, megatron, distmm or all")
+		freeze      = flag.String("freeze", "full", "full, all-frozen, encoder-only, llm-only or generator-only")
+		parallelism = flag.Int("parallelism", 0, "plan-search worker count (0 = GOMAXPROCS)")
+		sweep       = flag.String("sweep", "", "comma-separated node counts to plan concurrently (overrides -nodes/-strategy)")
 	)
 	flag.Parse()
 
@@ -34,6 +44,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts := disttrain.SearchOptions{Parallelism: *parallelism}
+
+	if *sweep != "" {
+		if err := runSweep(m, fr, *batch, *sweep, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	spec, _, err := disttrain.NewSpecFrozen(m, *nodes, *batch, fr)
 	if err != nil {
 		fatal(err)
@@ -46,7 +65,9 @@ func main() {
 		fn   func(disttrain.Spec) (*disttrain.Plan, error)
 	}
 	planners := []planner{
-		{"disttrain", disttrain.PlanDistTrain},
+		{"disttrain", func(s disttrain.Spec) (*disttrain.Plan, error) {
+			return disttrain.PlanDistTrainCtx(context.Background(), s, opts)
+		}},
 		{"megatron", disttrain.PlanMegatron},
 		{"distmm", disttrain.PlanDistMM},
 	}
@@ -61,6 +82,39 @@ func main() {
 		}
 		fmt.Println(plan)
 	}
+}
+
+// runSweep plans the model at every requested cluster size in one
+// PlanMany call and prints a comparison table.
+func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string, opts disttrain.SearchOptions) error {
+	var nodeCounts []int
+	for _, f := range strings.Split(sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -sweep entry %q (want positive node counts)", f)
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+	specs := make([]disttrain.Spec, len(nodeCounts))
+	for i, n := range nodeCounts {
+		s, _, err := disttrain.NewSpecFrozen(m, n, batch, fr)
+		if err != nil {
+			return fmt.Errorf("nodes=%d: %w", n, err)
+		}
+		specs[i] = s
+	}
+	fmt.Printf("sweep: %s, global batch %d, freeze=%s, %d cluster sizes\n\n", m.Name, batch, fr.Name, len(specs))
+	fmt.Printf("%6s %6s %6s %10s %7s\n", "nodes", "gpus", "used", "iter(s)", "mfu%")
+	for i, r := range disttrain.PlanMany(context.Background(), specs, opts) {
+		fleet := specs[i].Cluster.TotalGPUs()
+		if r.Err != nil {
+			fmt.Printf("%6d %6d      - infeasible: %v\n", nodeCounts[i], fleet, r.Err)
+			continue
+		}
+		fmt.Printf("%6d %6d %6d %10.3f %7.1f\n",
+			nodeCounts[i], fleet, r.Plan.TotalGPUs(), r.Plan.IterTime, 100*r.Plan.EstMFU)
+	}
+	return nil
 }
 
 func modelByName(name string) (disttrain.MLLM, error) {

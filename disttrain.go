@@ -30,6 +30,8 @@
 package disttrain
 
 import (
+	"context"
+
 	"disttrain/internal/cluster"
 	"disttrain/internal/data"
 	"disttrain/internal/experiments"
@@ -62,6 +64,14 @@ type (
 	Spec = orchestrator.Spec
 	// Plan is a complete orchestration decision for the three modules.
 	Plan = orchestrator.Plan
+	// SearchOptions tunes the parallel plan-search engine (worker
+	// count, per-candidate observer).
+	SearchOptions = orchestrator.SearchOptions
+	// Candidate is one (TP_lm, DP_lm, w_me, w_mg) strategy combination
+	// of the §4.3 enumeration.
+	Candidate = orchestrator.Candidate
+	// PlanResult is one PlanMany outcome: a plan or that spec's error.
+	PlanResult = orchestrator.PlanResult
 	// TrainConfig configures the training runtime.
 	TrainConfig = trainer.Config
 	// TrainResult aggregates a training run's measurements.
@@ -127,8 +137,30 @@ func NewSpecFrozen(m MLLM, nodes, globalBatch int, freeze FreezeSpec) (Spec, *Co
 }
 
 // PlanDistTrain runs the adaptive disaggregated model orchestration
-// (§4.3) and returns the optimal plan.
+// (§4.3) and returns the optimal plan. The strategy enumeration runs
+// on the parallel search engine with default options; the chosen plan
+// is identical at any parallelism level.
 func PlanDistTrain(s Spec) (*Plan, error) { return orchestrator.PlanDistTrain(s) }
+
+// PlanDistTrainCtx is PlanDistTrain with context cancellation and
+// search tuning (worker count, per-candidate observer).
+func PlanDistTrainCtx(ctx context.Context, s Spec, opts SearchOptions) (*Plan, error) {
+	return orchestrator.PlanDistTrainCtx(ctx, s, opts)
+}
+
+// PlanDistTrainSequential is the single-threaded reference
+// implementation of the §4.3 enumeration, kept as the equivalence and
+// benchmarking baseline for the parallel engine.
+func PlanDistTrainSequential(s Spec) (*Plan, error) {
+	return orchestrator.PlanDistTrainSequential(s)
+}
+
+// PlanMany plans many specs concurrently over one shared worker pool —
+// the fleet-sweep path for scoring multiple cluster shapes or model
+// configurations in a single call. Results are positional.
+func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResult {
+	return orchestrator.PlanMany(ctx, specs, opts)
+}
 
 // PlanMegatron returns the monolithic Megatron-LM baseline plan (§2.1).
 func PlanMegatron(s Spec) (*Plan, error) { return orchestrator.PlanMegatron(s) }

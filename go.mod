@@ -1,0 +1,3 @@
+module disttrain
+
+go 1.22

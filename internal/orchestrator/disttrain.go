@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,34 +31,39 @@ import (
 // The result is the plan with the smallest estimated iteration time,
 // which may deliberately leave GPUs unused when extra GPUs no longer
 // reduce iteration time (§7.1).
+//
+// The enumeration runs on the parallel search engine (search.go) with
+// default options; use PlanDistTrainCtx for cancellation, a custom
+// worker count, or per-candidate observation.
 func PlanDistTrain(s Spec) (*Plan, error) {
+	return PlanDistTrainCtx(context.Background(), s, SearchOptions{})
+}
+
+// PlanDistTrainSequential is the single-threaded reference
+// implementation of the §4.3 enumeration: the plain nested loop over
+// the strategy set, solving each subproblem inline. The parallel
+// engine must return byte-identical plans to this function
+// (TestPlanSearchEquivalence); it also anchors BenchmarkPlanSearch.
+func PlanDistTrainSequential(s Spec) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	n := s.maxGPUs()
 	replicate := s.Profiler.Options().ReplicateSmallModules
+	floors := &floorCache{}
 
 	var candidates []*Plan
-	tpSizes := parallel.TPSizes(s.Cluster.GPUsPerNode)
-	for _, tpLM := range tpSizes {
-		for _, dpLM := range dpCandidates(s, tpLM, n) {
-			for _, wME := range tpSizes {
-				for _, wMG := range tpSizes {
-					cand, err := solveSubproblem(s, tpLM, dpLM, wME, wMG, n, replicate)
-					if err != nil {
-						continue // infeasible combination
-					}
-					candidates = append(candidates, cand)
-				}
-			}
+	for _, c := range enumerateCandidates(s, n) {
+		cand, err := solveSubproblem(s, c, n, replicate, floors)
+		if err != nil {
+			continue // infeasible combination
 		}
+		candidates = append(candidates, cand)
 	}
 	if len(candidates) == 0 {
-		return nil, errors.New("orchestrator: no feasible plan (cluster too small for the model)")
+		return nil, errNoFeasiblePlan
 	}
-	best := selectPlan(candidates)
-	best.Strategy = "disttrain"
-	return best, nil
+	return selectPlan(candidates), nil
 }
 
 // selectPlan picks the fastest candidate, then trades within a 1%
@@ -146,8 +152,12 @@ func moduleMemoryOK(s Spec, mp ModulePlan) error {
 	return CheckMemory(s, probe)
 }
 
-// solveSubproblem handles one enumerated strategy combination.
-func solveSubproblem(s Spec, tpLM, dpLM, wME, wMG, n int, replicate bool) (*Plan, error) {
+// solveSubproblem handles one enumerated strategy combination. It is
+// called concurrently by the search engine's workers: it must stay
+// free of shared mutable state beyond the thread-safe floor cache and
+// the profiler's memoized cost queries.
+func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCache) (*Plan, error) {
+	tpLM, dpLM, wME, wMG := c.TPLM, c.DPLM, c.WME, c.WMG
 	m := float64(s.Microbatch)
 	k := s.GlobalBatch / (dpLM * s.Microbatch) // microbatches per iteration
 	if k < 1 {
@@ -164,8 +174,11 @@ func solveSubproblem(s Spec, tpLM, dpLM, wME, wMG, n int, replicate bool) (*Plan
 		float64(dpLM) * float64(wMG) * m * cMG,  // z: generator
 	}
 
-	// Lower bounds: memory floors and granularity minimums.
-	ppFloor, err := llmMemoryFloor(s, tpLM, dpLM)
+	// Lower bounds: memory floors and granularity minimums. The floor
+	// depends only on (TP, DP), so the per-search cache shares it
+	// across the 16 (w_me, w_mg) combinations of the same backbone
+	// shape.
+	ppFloor, err := floors.floor(s, tpLM, dpLM)
 	if err != nil {
 		return nil, err
 	}

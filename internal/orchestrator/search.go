@@ -1,0 +1,231 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"disttrain/internal/parallel"
+)
+
+// This file is the parallel plan-search engine behind PlanDistTrain.
+// The §4.3 adaptive algorithm is embarrassingly parallel: the strategy
+// set is finite and every (TP_lm, DP_lm, w_me, w_mg) combination
+// collapses to an independent convex subproblem. The engine splits
+// candidate generation from evaluation — a deterministic candidate
+// list feeds a bounded worker pool, results land in per-candidate
+// slots, and a sequential reduce applies the selectPlan tie-breaking
+// over the slots in enumeration order. Because each candidate is
+// evaluated independently (no cross-candidate floating-point
+// reduction) and the reduce order is fixed, the parallel search
+// returns a plan byte-identical to the sequential reference at any
+// parallelism level.
+
+// Candidate is one strategy combination of the §4.3 enumeration:
+// the backbone's tensor- and data-parallel sizes plus the encoder and
+// generator group widths.
+type Candidate struct {
+	TPLM, DPLM, WME, WMG int
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("tp_lm=%d dp_lm=%d w_me=%d w_mg=%d", c.TPLM, c.DPLM, c.WME, c.WMG)
+}
+
+// SearchOptions tunes the plan-search engine.
+type SearchOptions struct {
+	// Parallelism bounds the evaluation worker pool; values < 1 mean
+	// GOMAXPROCS. The chosen plan is independent of this value.
+	Parallelism int
+	// OnCandidate, when non-nil, observes every evaluated candidate:
+	// plan is non-nil for feasible combinations, err explains
+	// infeasible ones. It is invoked from worker goroutines and must be
+	// safe for concurrent use.
+	OnCandidate func(c Candidate, plan *Plan, err error)
+}
+
+func (o SearchOptions) workers() int {
+	if o.Parallelism >= 1 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var errNoFeasiblePlan = errors.New("orchestrator: no feasible plan (cluster too small for the model)")
+
+// enumerateCandidates materialises the finite strategy set in the
+// deterministic order of the original nested-loop enumeration. The
+// order is load-bearing: selectPlan's tie-breaking scans candidates in
+// this order, so both the sequential reference and the parallel reduce
+// must honour it.
+func enumerateCandidates(s Spec, n int) []Candidate {
+	tpSizes := parallel.TPSizes(s.Cluster.GPUsPerNode)
+	var out []Candidate
+	for _, tpLM := range tpSizes {
+		for _, dpLM := range dpCandidates(s, tpLM, n) {
+			for _, wME := range tpSizes {
+				for _, wMG := range tpSizes {
+					out = append(out, Candidate{TPLM: tpLM, DPLM: dpLM, WME: wME, WMG: wMG})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// floorCache memoizes llmMemoryFloor per (TP, DP): the floor scan is
+// the most expensive part of a subproblem and every (w_me, w_mg) pair
+// repeats it for the same backbone shape, so one search shares each
+// floor across all workers. The compute is deterministic, so a
+// sync.Once per key gives exactly-once evaluation without a global
+// lock.
+type floorCache struct {
+	entries sync.Map // [2]int{tp, dp} -> *floorEntry
+}
+
+type floorEntry struct {
+	once sync.Once
+	pp   int
+	err  error
+}
+
+func (fc *floorCache) floor(s Spec, tp, dp int) (int, error) {
+	v, _ := fc.entries.LoadOrStore([2]int{tp, dp}, &floorEntry{})
+	e := v.(*floorEntry)
+	e.once.Do(func() { e.pp, e.err = llmMemoryFloor(s, tp, dp) })
+	return e.pp, e.err
+}
+
+// PlanDistTrainCtx is PlanDistTrain with cancellation and search
+// tuning: it runs the §4.3 enumeration on a bounded worker pool and
+// reduces deterministically, returning the same plan as the sequential
+// reference regardless of parallelism. It is the one-spec case of
+// PlanMany.
+func PlanDistTrainCtx(ctx context.Context, s Spec, opts SearchOptions) (*Plan, error) {
+	r := PlanMany(ctx, []Spec{s}, opts)[0]
+	return r.Plan, r.Err
+}
+
+// PlanMany evaluates one orchestration problem per spec — the
+// fleet-sweep / planning-as-a-service path: many cluster shapes or
+// model configurations scored concurrently in a single call. All specs
+// share one worker pool, so a sweep saturates the machine even when
+// individual strategy spaces are small. Results are positional; each
+// entry carries either the plan or that spec's own error, and the
+// plans are byte-identical to planning each spec alone.
+//
+// On cancellation, specs whose strategy set was already fully
+// evaluated still reduce to their (deterministic) plan; only specs
+// with unevaluated candidates report the cancellation error.
+func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResult {
+	out := make([]PlanResult, len(specs))
+
+	// Per-spec search state; invalid specs fail fast and contribute no
+	// work items.
+	type search struct {
+		spec      Spec
+		n         int
+		replicate bool
+		cands     []Candidate
+		results   []*Plan
+		floors    *floorCache
+		done      atomic.Int64 // candidates evaluated so far
+	}
+	searches := make([]*search, len(specs))
+	type job struct{ spec, cand int }
+	var jobs []job
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		se := &search{spec: s, n: s.maxGPUs(), replicate: s.Profiler.Options().ReplicateSmallModules, floors: &floorCache{}}
+		se.cands = enumerateCandidates(s, se.n)
+		se.results = make([]*Plan, len(se.cands))
+		searches[i] = se
+		for c := range se.cands {
+			jobs = append(jobs, job{spec: i, cand: c})
+		}
+	}
+
+	runWorkers(ctx, opts.workers(), len(jobs), func(j int) {
+		se := searches[jobs[j].spec]
+		c := jobs[j].cand
+		plan, err := solveSubproblem(se.spec, se.cands[c], se.n, se.replicate, se.floors)
+		if err == nil {
+			se.results[c] = plan
+		}
+		se.done.Add(1)
+		if opts.OnCandidate != nil {
+			opts.OnCandidate(se.cands[c], plan, err)
+		}
+	})
+
+	for i, se := range searches {
+		if se == nil {
+			continue // spec failed validation above
+		}
+		// A spec reduces iff every candidate slot was filled; a late
+		// cancellation must not discard a search that already finished.
+		if int(se.done.Load()) != len(se.cands) {
+			out[i].Err = fmt.Errorf("orchestrator: plan search cancelled: %w", ctx.Err())
+			continue
+		}
+		out[i].Plan, out[i].Err = reducePlans(se.results)
+	}
+	return out
+}
+
+// PlanResult is one PlanMany outcome: exactly one of Plan and Err is
+// set.
+type PlanResult struct {
+	Plan *Plan
+	Err  error
+}
+
+// runWorkers evaluates eval(0..n-1) on a pool of the given size,
+// handing out indices through an atomic cursor. It returns once every
+// claimed index finishes; on context cancellation workers stop
+// claiming and the remaining indices are never evaluated.
+func runWorkers(ctx context.Context, workers, n int, eval func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reducePlans applies the selectPlan tie-breaking over the feasible
+// result slots in enumeration order — the deterministic reduce that
+// makes the parallel search equivalent to the sequential loop. It must
+// not mutate any candidate (solveSubproblem already stamps Strategy):
+// OnCandidate observers may have retained these pointers.
+func reducePlans(results []*Plan) (*Plan, error) {
+	feasible := make([]*Plan, 0, len(results))
+	for _, p := range results {
+		if p != nil {
+			feasible = append(feasible, p)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, errNoFeasiblePlan
+	}
+	return selectPlan(feasible), nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"disttrain/internal/cluster"
 	"disttrain/internal/comm"
@@ -74,6 +75,12 @@ func DefaultOptions(cl cluster.Cluster, m model.MLLM) Options {
 }
 
 // Profiler converts module workloads into seconds.
+//
+// Concurrency: query methods (CFwd, CTrain, SampleForward, SampleTrain,
+// InterpForward, MeanShape, Options) are safe for concurrent use — the
+// parallel plan-search engine issues them from many goroutines at once.
+// Calibrate mutates the profiler and must not run concurrently with
+// queries; calibrate once, then share.
 type Profiler struct {
 	opts Options
 	// meanShape is the corpus-calibrated average sample composition,
@@ -82,6 +89,19 @@ type Profiler struct {
 	meanShape   model.SampleShape
 	calibrated  bool
 	interpTable map[interpKey][]interpPoint
+	// costs memoizes the C_mod(width) queries on the calibrated mean
+	// shape: the orchestration search evaluates thousands of strategy
+	// candidates that all ask for the same handful of (module, width)
+	// costs, so workers hit this lock-free cache instead of re-running
+	// the analytic model. Invalidated by Calibrate.
+	costs sync.Map // costKey -> float64
+}
+
+// costKey identifies one memoized mean-shape cost query.
+type costKey struct {
+	mod   model.Module
+	width int
+	train bool
 }
 
 type interpKey struct {
@@ -256,6 +276,10 @@ func (p *Profiler) Calibrate(corpus *data.Corpus, n int) error {
 	}
 	p.meanShape = shape
 	p.calibrated = true
+	p.costs.Range(func(k, _ any) bool { // drop costs memoized on the old shape
+		p.costs.Delete(k)
+		return true
+	})
 	p.buildInterpolation()
 	return nil
 }
@@ -268,16 +292,35 @@ func (p *Profiler) Calibrated() bool { return p.calibrated }
 
 // CFwd returns the paper's C function: mean forward seconds per sample
 // for the module at the given width, from the calibrated shape.
+// Memoized; safe for concurrent use.
 func (p *Profiler) CFwd(mod model.Module, width int) float64 {
-	return p.SampleForward(mod, width, p.shapeOrDefault())
+	return p.cachedCost(costKey{mod, width, false})
 }
 
 // CTrain returns the fwd+bwd variant of the C function, which the
 // orchestration objective uses ("changing C_lm, C_me, and C_mg from
 // forward time functions to the sum functions of forward and backward
-// time", §4.2).
+// time", §4.2). Memoized; safe for concurrent use.
 func (p *Profiler) CTrain(mod model.Module, width int) float64 {
-	return p.SampleTrain(mod, width, p.shapeOrDefault())
+	return p.cachedCost(costKey{mod, width, true})
+}
+
+// cachedCost serves a mean-shape cost query through the memo table.
+// The underlying evaluation is deterministic, so racing computations of
+// the same key store identical values and LoadOrStore keeps whichever
+// lands first.
+func (p *Profiler) cachedCost(k costKey) float64 {
+	if v, ok := p.costs.Load(k); ok {
+		return v.(float64)
+	}
+	var t float64
+	if k.train {
+		t = p.SampleTrain(k.mod, k.width, p.shapeOrDefault())
+	} else {
+		t = p.SampleForward(k.mod, k.width, p.shapeOrDefault())
+	}
+	v, _ := p.costs.LoadOrStore(k, t)
+	return v.(float64)
 }
 
 func (p *Profiler) shapeOrDefault() model.SampleShape {

@@ -1,7 +1,9 @@
 package profiler
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"disttrain/internal/cluster"
@@ -241,5 +243,70 @@ func TestReplicationAvoidsTPComm(t *testing.T) {
 	if tRep >= tTP {
 		t.Errorf("replicated encoder (%.3fms) should beat TP-sharded (%.3fms) for balanced image counts",
 			tRep*1e3, tTP*1e3)
+	}
+}
+
+// TestCostCacheConcurrent pins the memoized C-function contract: all
+// concurrent queries agree with the uncached evaluation, and
+// recalibration invalidates the memo so cached values track the new
+// mean shape. Run under -race by the CI race gate.
+func TestCostCacheConcurrent(t *testing.T) {
+	p := calibrated(t, model.MLLM9B())
+	type query struct {
+		mod   model.Module
+		width int
+	}
+	queries := []query{
+		{model.Encoder, 1}, {model.Encoder, 4},
+		{model.Backbone, 2}, {model.Backbone, 8},
+		{model.Generator, 1}, {model.Generator, 2},
+	}
+	want := make(map[query][2]float64)
+	for _, q := range queries {
+		// Direct evaluation bypasses the memo.
+		want[q] = [2]float64{
+			p.SampleForward(q.mod, q.width, p.MeanShape()),
+			p.SampleTrain(q.mod, q.width, p.MeanShape()),
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, q := range queries {
+					if got := p.CFwd(q.mod, q.width); got != want[q][0] {
+						errs <- fmt.Errorf("CFwd(%v,%d) = %g, want %g", q.mod, q.width, got, want[q][0])
+						return
+					}
+					if got := p.CTrain(q.mod, q.width); got != want[q][1] {
+						errs <- fmt.Errorf("CTrain(%v,%d) = %g, want %g", q.mod, q.width, got, want[q][1])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Recalibrating on far fewer samples shifts the mean shape; the
+	// memo must follow, not serve stale costs.
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Calibrate(corpus, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if got, fresh := p.CTrain(q.mod, q.width), p.SampleTrain(q.mod, q.width, p.MeanShape()); got != fresh {
+			t.Errorf("stale memo after Calibrate: CTrain(%v,%d) = %g, want %g", q.mod, q.width, got, fresh)
+		}
 	}
 }

@@ -7,6 +7,13 @@
 // general-purpose solver is needed; this package provides that solver
 // plus the generic 1-D primitives (bisection, golden-section) used to
 // calibrate cost models.
+//
+// Reentrancy: every entry point is a pure function of its arguments —
+// value receivers, no package-level mutable state, fresh output slices
+// on every call. The parallel plan-search engine calls Solve,
+// RoundAllocation and MinimizeConvex1D from many goroutines at once;
+// callers only need their own callback closures to be goroutine-safe.
+// TestSolveReentrancy pins this property under the race detector.
 package solve
 
 import (

@@ -1,8 +1,11 @@
 package solve
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -184,6 +187,58 @@ func TestRoundAllocationInvariants(t *testing.T) {
 		return total <= budget
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveReentrancy pins the package doc's concurrency guarantee:
+// every entry point is a pure function, so concurrent callers sharing
+// the same problem values must race-cleanly produce identical results.
+// Run under -race (the CI race gate does).
+func TestSolveReentrancy(t *testing.T) {
+	p := WaterFillProblem{
+		Weights: []float64{3.2, 120.5, 7.8},
+		Lower:   []float64{1, 64, 1},
+		Budget:  1296,
+	}
+	refX, refT, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRound := RoundAllocation(refX, p.Weights, []int{1, 8, 1}, 1296)
+	refMin := MinimizeConvex1D(0, 10, 1e-6, func(x float64) float64 { return (x - 3) * (x - 3) })
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				x, tt, err := p.Solve()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tt != refT || !reflect.DeepEqual(x, refX) {
+					errs <- fmt.Errorf("Solve diverged: got (%v, %g), want (%v, %g)", x, tt, refX, refT)
+					return
+				}
+				if r := RoundAllocation(x, p.Weights, []int{1, 8, 1}, 1296); !reflect.DeepEqual(r, refRound) {
+					errs <- fmt.Errorf("RoundAllocation diverged: got %v, want %v", r, refRound)
+					return
+				}
+				if m := MinimizeConvex1D(0, 10, 1e-6, func(x float64) float64 { return (x - 3) * (x - 3) }); m != refMin {
+					errs <- fmt.Errorf("MinimizeConvex1D diverged: got %g, want %g", m, refMin)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Error(err)
 	}
 }
