@@ -23,11 +23,14 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs -short: the full scenario matrix (trainer scenario tests)
+# runs without the race detector in `make test`, keeping the slow
+# race gate fast; ci runs both.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # bench is the smoke run: every benchmark once, no measurement loops.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build fmt vet race bench
+ci: build fmt vet test race bench

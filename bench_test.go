@@ -328,6 +328,54 @@ func BenchmarkVPPAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainSerialVsConcurrent compares the pinned sequential
+// runtime (RunSequential: inline rank loop, no prefetch) against the
+// concurrent engine (bounded rank-worker pool plus the async data
+// service) at increasing worker counts, on the §7.2 ablation scale.
+// Results are byte-identical in every variant (pinned by
+// TestConcurrentRuntimeEquivalence), so the delta is pure wall-clock;
+// on a multi-core machine the concurrent variants should at least
+// match serial. Included in the `make ci` bench smoke.
+func BenchmarkTrainSerialVsConcurrent(b *testing.B) {
+	spec := benchSpec(b, model.MLLM9B(), 12, 96)
+	plan, err := orchestrator.PlanDistTrain(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := NewTrainConfig(spec, plan, corpus)
+	const iters = 3
+	// Warm the profiler memo so every variant measures runtime work.
+	if _, err := TrainSequential(cfg, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TrainSequential(cfg, iters); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, par := range workerCounts {
+		b.Run(fmt.Sprintf("concurrent-%d", par), func(b *testing.B) {
+			c := cfg
+			c.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(c, iters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTrainerIteration measures one full end-to-end DistTrain
 // iteration at the ablation scale.
 func BenchmarkTrainerIteration(b *testing.B) {

@@ -1,10 +1,16 @@
 // Command disttrain-sim runs end-to-end training iterations under a
 // chosen orchestration strategy and reports MFU, throughput and the
-// per-iteration time breakdown.
+// per-iteration time breakdown. Scenario injection perturbs the run
+// (stragglers, congestion, preprocessing degradation, node failures
+// with checkpoint-restore recovery), and -trace captures the full
+// execution timeline in Chrome trace format.
 //
-// Example:
+// Examples:
 //
 //	disttrain-sim -model 15b -nodes 12 -batch 64 -iters 5 -strategy disttrain
+//	disttrain-sim -iters 8 -checkpoint-every 2 \
+//	    -scenario 'straggler:iters=2-4,rank=0,factor=3; failure:iter=6' \
+//	    -trace timeline.json
 package main
 
 import (
@@ -27,6 +33,9 @@ func main() {
 		noReorder = flag.Bool("no-reorder", false, "disable dual-level data reordering")
 		colocate  = flag.Bool("colocate-preprocess", false, "co-locate preprocessing with training")
 		ckpt      = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = off)")
+		workers   = flag.Int("workers", 0, "per-DP-rank pipeline worker pool size (0 = GOMAXPROCS)")
+		scenSpec  = flag.String("scenario", "", "scenario injection, e.g. 'straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6' or 'random-stragglers:seed=7,ranks=8,prob=0.3,max=3'")
+		traceFile = flag.String("trace", "", "write the run's Chrome-trace-format timeline to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +83,19 @@ func main() {
 		cfg.DisaggregatedPreprocess = false
 	}
 	cfg.CheckpointEvery = *ckpt
+	cfg.Parallelism = *workers
+	if *scenSpec != "" {
+		sc, err := disttrain.ParseScenario(*scenSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = sc
+	}
+	var trace *disttrain.Trace
+	if *traceFile != "" {
+		trace = disttrain.NewTrace()
+		cfg.Trace = trace
+	}
 
 	fmt.Println(plan)
 	res, err := disttrain.Train(cfg, *iters)
@@ -81,16 +103,43 @@ func main() {
 		fatal(err)
 	}
 	for _, it := range res.Iterations {
-		fmt.Printf("iter %2d: %7.3fs  [%s]  bubble %4.1f%%  straggler spread %4.1f%%  MFU %4.1f%%\n",
-			it.Index, it.Breakdown.Total(), it.Breakdown, 100*it.BubbleFrac,
+		mark := " "
+		if it.Perturbed {
+			mark = "!"
+		}
+		fmt.Printf("iter %2d%s %7.3fs  [%s]  bubble %4.1f%%  straggler spread %4.1f%%  MFU %4.1f%%\n",
+			it.Index, mark, it.Breakdown.Total(), it.Breakdown, 100*it.BubbleFrac,
 			100*it.StragglerSpread, 100*it.MFU)
+	}
+	for _, rec := range res.Recoveries {
+		fmt.Printf("failure at iter %d: resumed from %d after %.2fs downtime\n",
+			rec.FailedAt, rec.ResumedFrom, rec.Downtime)
 	}
 	fmt.Printf("\n%s on %d GPUs: mean iter %.3fs, MFU %.1f%%, %.2fM tokens/s",
 		res.Strategy, res.GPUs, res.MeanIterTime, 100*res.MFU, res.TokensPerSec/1e6)
 	if res.CheckpointsSaved > 0 {
 		fmt.Printf(", %d checkpoints saved", res.CheckpointsSaved)
 	}
+	if res.Failures > 0 {
+		fmt.Printf(", %d failures survived (%d iters re-executed, %.2fs downtime)",
+			res.Failures, res.ReExecutedIterations, res.DowntimeSeconds)
+	}
 	fmt.Println()
+
+	if trace != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: %s (%d events; open in chrome://tracing or Perfetto)\n", *traceFile, trace.Len())
+	}
 }
 
 func modelByName(name string) (disttrain.MLLM, error) {

@@ -35,9 +35,11 @@ import (
 	"disttrain/internal/cluster"
 	"disttrain/internal/data"
 	"disttrain/internal/experiments"
+	"disttrain/internal/metrics"
 	"disttrain/internal/model"
 	"disttrain/internal/orchestrator"
 	"disttrain/internal/profiler"
+	"disttrain/internal/scenario"
 	"disttrain/internal/trainer"
 )
 
@@ -76,6 +78,16 @@ type (
 	TrainConfig = trainer.Config
 	// TrainResult aggregates a training run's measurements.
 	TrainResult = trainer.Result
+	// Recovery records one survived node failure (checkpoint restore).
+	Recovery = trainer.Recovery
+	// Scenario injects timed perturbation events (stragglers, link
+	// congestion, preprocessing degradation, node failures) into a
+	// training run; see ParseScenario for the CLI grammar.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timed perturbation.
+	ScenarioEvent = scenario.Event
+	// Trace accumulates a run's Chrome-trace-format timeline.
+	Trace = metrics.Trace
 	// ExperimentTable is one regenerated paper table/figure.
 	ExperimentTable = experiments.Table
 )
@@ -182,7 +194,13 @@ func NewMegatronTrainConfig(spec Spec, plan *Plan, corpus *Corpus) TrainConfig {
 }
 
 // Train executes n iterations under the configuration and aggregates
-// MFU, throughput and per-iteration breakdowns.
+// MFU, throughput and per-iteration breakdowns. The runtime is the
+// concurrent engine: per-DP-rank pipeline workers on a bounded pool
+// (TrainConfig.Parallelism) with the batch/assignment front-end
+// prefetched one iteration ahead; results are byte-identical to
+// TrainSequential at any worker count. Scenario-injected node
+// failures recover from the latest DFS checkpoint and re-execute the
+// lost iterations.
 func Train(cfg TrainConfig, n int) (*TrainResult, error) {
 	rt, err := trainer.New(cfg)
 	if err != nil {
@@ -191,6 +209,38 @@ func Train(cfg TrainConfig, n int) (*TrainResult, error) {
 	defer rt.Close()
 	return rt.Run(n)
 }
+
+// TrainSequential is the single-threaded reference runtime, kept as
+// the equivalence and benchmarking baseline for the concurrent engine
+// (mirroring PlanDistTrainSequential).
+func TrainSequential(cfg TrainConfig, n int) (*TrainResult, error) {
+	rt, err := trainer.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	return rt.RunSequential(n)
+}
+
+// ParseScenario builds a Scenario from the CLI grammar shared with the
+// -scenario flag: semicolon-separated `kind:key=value,...` events —
+// e.g. `straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6`, or the
+// seeded generator `random-stragglers:seed=7,ranks=8,prob=0.3,max=3`.
+func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
+
+// NewScenario builds a fixed-event scenario from explicit events.
+func NewScenario(name string, events ...ScenarioEvent) (Scenario, error) {
+	s, err := scenario.New(name, events...)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewTrace returns an empty execution-timeline collector; attach it to
+// TrainConfig.Trace and write it out with its WriteJSON method after
+// training (chrome://tracing / Perfetto format).
+func NewTrace() *Trace { return metrics.NewTrace() }
 
 // Experiment regenerates one paper table/figure by ID (fig3, fig5,
 // fig13..fig19, fig22, table2, table3). quick shrinks workloads for

@@ -210,15 +210,23 @@ func (m *CheckpointManager) Close() {
 // Latest recovers the newest checkpoint from the DFS — the §6 failure
 // recovery path.
 func (m *CheckpointManager) Latest() (Checkpoint, error) {
+	ck, _, err := m.LatestWithCost()
+	return ck, err
+}
+
+// LatestWithCost is Latest plus the simulated DFS read duration, so
+// the recovery path can charge the restore time against the run.
+func (m *CheckpointManager) LatestWithCost() (Checkpoint, float64, error) {
 	names := m.fs.List(m.prefix + "/ckpt-")
 	if len(names) == 0 {
-		return Checkpoint{}, errors.New("dfs: no checkpoints")
+		return Checkpoint{}, 0, errors.New("dfs: no checkpoints")
 	}
-	data, _, err := m.fs.Read(names[len(names)-1])
+	data, d, err := m.fs.Read(names[len(names)-1])
 	if err != nil {
-		return Checkpoint{}, err
+		return Checkpoint{}, 0, err
 	}
-	return decode(data)
+	ck, err := decode(data)
+	return ck, d, err
 }
 
 // encode/decode use a trivial length-prefixed layout: 8-byte step then

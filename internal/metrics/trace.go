@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Chrome-trace-format timeline emission: the runtime records every
+// phase of every iteration (preprocess stall, per-rank pipeline ops,
+// gradient sync, optimizer, checkpoint back-pressure, failures and
+// recoveries) as "trace event format" JSON, loadable in
+// chrome://tracing or Perfetto. Process IDs partition the timeline:
+// pid 0 is the runtime's serial phases, pid d+1 is DP rank d, whose
+// thread IDs are pipeline stages.
+
+// TraceEvent is one trace entry. Ph "X" is a complete (duration)
+// event, "i" an instant, "M" metadata; TS and Dur are microseconds,
+// per the format spec.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace accumulates trace events; safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Complete records a duration event. start and dur are in simulated
+// seconds; the trace stores microseconds.
+func (t *Trace) Complete(name, cat string, pid, tid int, start, dur float64) {
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: start * 1e6, Dur: dur * 1e6, PID: pid, TID: tid})
+}
+
+// Instant records a point event at start seconds.
+func (t *Trace) Instant(name, cat string, pid int, start float64, args map[string]any) {
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: start * 1e6, PID: pid, Args: args})
+}
+
+// NameProcess attaches a human-readable name to a pid lane.
+func (t *Trace) NameProcess(pid int, name string) {
+	t.add(TraceEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}})
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the recorded event count.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// WriteJSON emits the Chrome trace file ({"traceEvents": [...]}).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.NameProcess(0, "runtime")
+	tr.Complete("preprocess", "data", 0, 0, 0, 0.25)
+	tr.Complete("F0", "pipeline", 1, 2, 0.25, 0.1)
+	tr.Instant("failure", "scenario", 0, 1.5, map[string]any{"iter": 3})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != tr.Len() || tr.Len() != 4 {
+		t.Fatalf("round-trip lost events: wrote %d, read %d", tr.Len(), len(decoded.TraceEvents))
+	}
+	// Seconds become microseconds.
+	ev := decoded.TraceEvents[2]
+	if ev.TS != 0.25*1e6 || ev.Dur != 0.1*1e6 || ev.PID != 1 || ev.TID != 2 {
+		t.Errorf("event mangled: %+v", ev)
+	}
+}
+
+func TestTraceEmptyWritesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["traceEvents"].([]any); !ok {
+		t.Errorf("empty trace should still carry a traceEvents array: %s", buf.String())
+	}
+}
+
+func TestTraceConcurrentAdds(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Complete("op", "x", w, 0, float64(i), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("lost events under concurrency: %d", tr.Len())
+	}
+}

@@ -66,6 +66,11 @@ type Work struct {
 	// P2P[s] is the activation/gradient transfer time between stage s
 	// and s+1; nil means zero-cost links.
 	P2P []float64
+	// Rates[s] is stage s's time-varying speed profile (scenario
+	// injection: stragglers, throttling); nil means every stage runs at
+	// nominal speed and the simulation is byte-identical to the
+	// rate-free path.
+	Rates []RateSchedule
 }
 
 // Stages returns the stage count.
@@ -99,6 +104,16 @@ func (w Work) Validate() error {
 	}
 	if w.P2P != nil && len(w.P2P) != s-1 {
 		return fmt.Errorf("pipeline: P2P wants %d links, got %d", s-1, len(w.P2P))
+	}
+	if w.Rates != nil {
+		if len(w.Rates) != s {
+			return fmt.Errorf("pipeline: Rates wants %d stages, got %d", s, len(w.Rates))
+		}
+		for i, rs := range w.Rates {
+			if err := rs.Validate(); err != nil {
+				return fmt.Errorf("stage %d: %w", i, err)
+			}
+		}
 	}
 	return nil
 }
@@ -272,10 +287,10 @@ func Simulate(sch Schedule, w Work) (*Result, error) {
 				}
 				start := math.Max(stageClock[s], dep)
 				d := duration(r)
-				finish := start + d
+				finish := w.finish(s, start, d)
 				end[r] = finish
 				stageClock[s] = finish
-				res.StageBusy[s] += d
+				res.StageBusy[s] += busy(start, finish, d, w.rate(s))
 				res.Ops = append(res.Ops, Op{Stage: s, MB: r.mb, Kind: r.kind, Start: start, End: finish})
 				pos[s]++
 				remaining--

@@ -165,10 +165,10 @@ func SimulateVPP(w Work, chunks int) (*Result, error) {
 				}
 				start := math.Max(stageClock[s], dep)
 				d := duration(r)
-				finish := start + d
+				finish := w.finish(s, start, d)
 				end[r] = finish
 				stageClock[s] = finish
-				res.StageBusy[s] += d
+				res.StageBusy[s] += busy(start, finish, d, w.rate(s))
 				res.Ops = append(res.Ops, Op{Stage: s, MB: r.mb, Kind: r.kind, Start: start, End: finish})
 				pos[s]++
 				remaining--

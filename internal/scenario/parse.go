@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Scenario from the CLI grammar of the -scenario flag:
+// semicolon-separated events, each `kind:key=value,...`.
+//
+//	straggler:iters=2-5,rank=0,stage=1,factor=2.5,from=0.1,until=0.4
+//	preprocess:iters=2-4,factor=4
+//	congestion:iters=1-3,factor=3
+//	failure:iter=5,downtime=30
+//	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
+//
+// Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
+// `iter=N` is shorthand for a single iteration. `rank`/`stage` default
+// to -1 (all); `factor` defaults to 2; failure `downtime` defaults to
+// 30 simulated seconds. `random-stragglers` must be the only event in
+// its spec — it is a generator, not a timed event.
+func Parse(spec string) (Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("scenario: empty spec")
+	}
+	var parts []string
+	for _, part := range strings.Split(spec, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			parts = append(parts, part)
+		}
+	}
+	var events []Event
+	for _, part := range parts {
+		kind, kvs, err := splitEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "random-stragglers" {
+			if len(parts) > 1 {
+				return nil, fmt.Errorf("scenario: random-stragglers cannot be combined with other events")
+			}
+			return parseRandomStragglers(kvs)
+		}
+		e, err := parseEvent(kind, kvs)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %q: %w", part, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("scenario: no events in %q", spec)
+	}
+	return New(spec, events...)
+}
+
+func splitEvent(part string) (kind string, kvs map[string]string, err error) {
+	kind, rest, found := strings.Cut(part, ":")
+	kind = strings.TrimSpace(kind)
+	kvs = map[string]string{}
+	if !found || strings.TrimSpace(rest) == "" {
+		return kind, kvs, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("scenario: malformed key=value %q in %q", kv, part)
+		}
+		kvs[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return kind, kvs, nil
+}
+
+func parseEvent(kind string, kvs map[string]string) (Event, error) {
+	e := Event{Rank: -1, Stage: -1, Factor: 2}
+	switch kind {
+	case "straggler":
+		e.Kind = Straggler
+	case "preprocess", "preproc":
+		e.Kind = PreprocessDegrade
+	case "congestion":
+		e.Kind = LinkCongestion
+	case "failure":
+		e.Kind = NodeFailure
+		e.Downtime = 30
+	default:
+		return Event{}, fmt.Errorf("unknown event kind %q", kind)
+	}
+	haveIter, haveRange := false, false
+	for k, v := range kvs {
+		var err error
+		switch k {
+		case "iter":
+			e.Start, err = strconv.Atoi(v)
+			e.End = e.Start + 1
+			haveIter = true
+		case "iters":
+			lo, hi, ok := strings.Cut(v, "-")
+			if !ok {
+				return Event{}, fmt.Errorf("iters wants lo-hi, got %q", v)
+			}
+			if e.Start, err = strconv.Atoi(lo); err == nil {
+				e.End, err = strconv.Atoi(hi)
+				e.End++ // inclusive upper bound
+			}
+			haveRange = true
+		case "rank":
+			e.Rank, err = strconv.Atoi(v)
+		case "stage":
+			e.Stage, err = strconv.Atoi(v)
+		case "factor":
+			e.Factor, err = strconv.ParseFloat(v, 64)
+		case "from":
+			e.From, err = strconv.ParseFloat(v, 64)
+		case "until":
+			e.Until, err = strconv.ParseFloat(v, 64)
+		case "downtime":
+			e.Downtime, err = strconv.ParseFloat(v, 64)
+		default:
+			return Event{}, fmt.Errorf("unknown key %q for %s", k, kind)
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("bad %s=%q: %w", k, v, err)
+		}
+	}
+	// iter and iters are exclusive: with both present, map iteration
+	// order would decide the window — a nondeterministic parse.
+	if haveIter && haveRange {
+		return Event{}, fmt.Errorf("%s specifies both iter and iters", kind)
+	}
+	if !haveIter && !haveRange {
+		return Event{}, fmt.Errorf("%s needs iter=N or iters=lo-hi", kind)
+	}
+	return e, e.Validate()
+}
+
+func parseRandomStragglers(kvs map[string]string) (Scenario, error) {
+	g := RandomStragglers{Seed: 1, Ranks: 1, Prob: 0.2, MaxFactor: 3}
+	for k, v := range kvs {
+		var err error
+		switch k {
+		case "seed":
+			g.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "ranks":
+			g.Ranks, err = strconv.Atoi(v)
+		case "prob":
+			g.Prob, err = strconv.ParseFloat(v, 64)
+		case "max":
+			g.MaxFactor, err = strconv.ParseFloat(v, 64)
+		default:
+			return nil, fmt.Errorf("scenario: unknown key %q for random-stragglers", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad %s=%q: %w", k, v, err)
+		}
+	}
+	if g.Ranks < 1 || g.Prob < 0 || g.Prob > 1 || g.MaxFactor < 1 {
+		return nil, fmt.Errorf("scenario: random-stragglers wants ranks>=1, prob in [0,1], max>=1")
+	}
+	return g, nil
+}

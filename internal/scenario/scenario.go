@@ -1,0 +1,317 @@
+// Package scenario injects timed perturbation events into the training
+// runtime: per-GPU slowdowns (stragglers), preprocessing-node
+// degradation, transient link congestion, and node failures that force
+// checkpoint-restore recovery — the failure/straggler dynamics that
+// motivate disaggregated training in the first place (§2, §6; cf. the
+// fault-tolerance emphasis of related MLLM-training systems). Every
+// scenario is deterministic: the events affecting iteration i depend
+// only on the scenario definition and i, never on call order or wall
+// clock, so concurrent runtimes, prefetchers and replays all observe
+// the same world.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"disttrain/internal/pipeline"
+)
+
+// Kind enumerates the perturbation families.
+type Kind int
+
+const (
+	// Straggler slows pipeline-stage compute: a degraded GPU, thermal
+	// throttling, a noisy neighbour. Factor is the slowdown (2 = half
+	// speed); Rank/Stage restrict the blast radius; From/Until bound
+	// the slowdown within each affected iteration's pipeline phase.
+	Straggler Kind = iota
+	// PreprocessDegrade slows the data path: disaggregated
+	// preprocessing nodes (or co-located dataloader workers) deliver
+	// the batch Factor times slower.
+	PreprocessDegrade
+	// LinkCongestion scales inter-stage activation/gradient transfer
+	// (P2P) costs by Factor — a congested RDMA fabric.
+	LinkCongestion
+	// NodeFailure kills the training job at iteration Start: the
+	// runtime pays Downtime seconds of detection/restart, restores the
+	// latest DFS checkpoint, and re-executes the lost iterations.
+	NodeFailure
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Straggler:
+		return "straggler"
+	case PreprocessDegrade:
+		return "preprocess"
+	case LinkCongestion:
+		return "congestion"
+	case NodeFailure:
+		return "failure"
+	}
+	return fmt.Sprintf("scenario.Kind(%d)", int(k))
+}
+
+// Event is one timed perturbation. Iteration windows are half-open:
+// the event affects iterations Start <= i < End (NodeFailure fires
+// once, at Start).
+type Event struct {
+	Kind       Kind
+	Start, End int
+	// Rank restricts Straggler events to one DP rank; -1 = all ranks.
+	Rank int
+	// Stage restricts Straggler events to one pipeline stage; -1 = all
+	// stages.
+	Stage int
+	// Factor is the slowdown / scale multiplier, >= 1.
+	Factor float64
+	// From and Until bound a Straggler within the iteration's
+	// pipeline-local time in seconds. Until <= From leaves the window
+	// open-ended — it runs from From to the end of the iteration — so
+	// the zero value (both zero) covers the whole iteration.
+	From, Until float64
+	// Downtime is NodeFailure's detection + restart cost in simulated
+	// seconds, paid before the checkpoint restore read.
+	Downtime float64
+}
+
+// Validate checks one event.
+func (e Event) Validate() error {
+	if e.Kind < Straggler || e.Kind > NodeFailure {
+		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
+	}
+	if e.Start < 0 {
+		return fmt.Errorf("scenario: %s start %d negative", e.Kind, e.Start)
+	}
+	if e.Kind != NodeFailure {
+		if e.End <= e.Start {
+			return fmt.Errorf("scenario: %s window [%d,%d) empty", e.Kind, e.Start, e.End)
+		}
+		if e.Factor < 1 || math.IsNaN(e.Factor) || math.IsInf(e.Factor, 0) {
+			return fmt.Errorf("scenario: %s factor %g must be >= 1 and finite", e.Kind, e.Factor)
+		}
+		if e.From < 0 || math.IsNaN(e.From) || math.IsInf(e.From, 0) {
+			return fmt.Errorf("scenario: %s from %g must be finite and non-negative", e.Kind, e.From)
+		}
+		if e.Until < 0 || math.IsNaN(e.Until) || math.IsInf(e.Until, 0) {
+			return fmt.Errorf("scenario: %s until %g must be finite and non-negative", e.Kind, e.Until)
+		}
+	}
+	if e.Downtime < 0 {
+		return fmt.Errorf("scenario: %s downtime %g negative", e.Kind, e.Downtime)
+	}
+	return nil
+}
+
+// covers reports whether the event affects iteration i.
+func (e Event) covers(i int) bool {
+	if e.Kind == NodeFailure {
+		return i == e.Start
+	}
+	return e.Start <= i && i < e.End
+}
+
+// Scenario yields the events affecting each iteration. EventsAt must
+// be deterministic — same iteration, same events, in the same order —
+// and safe for concurrent use.
+type Scenario interface {
+	Name() string
+	EventsAt(iter int) []Event
+}
+
+// Schedule is the fixed-event Scenario: an explicit list of timed
+// perturbations.
+type Schedule struct {
+	name   string
+	events []Event
+}
+
+// New builds a fixed-event schedule. Events are validated eagerly.
+func New(name string, events ...Event) (*Schedule, error) {
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Schedule{name: name, events: append([]Event(nil), events...)}, nil
+}
+
+// Name implements Scenario.
+func (s *Schedule) Name() string { return s.name }
+
+// EventsAt implements Scenario.
+func (s *Schedule) EventsAt(iter int) []Event {
+	var out []Event
+	for _, e := range s.events {
+		if e.covers(iter) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RandomStragglers is a seeded straggler generator: each iteration,
+// each DP rank independently straggles with probability Prob, slowed
+// by a factor drawn uniformly from [1, MaxFactor]. The draw for
+// iteration i uses an RNG keyed on (Seed, i), so the sequence is
+// reproducible and independent of evaluation order — prefetchers and
+// failure-recovery replays see the same stragglers.
+type RandomStragglers struct {
+	Seed      int64
+	Ranks     int
+	Prob      float64
+	MaxFactor float64
+}
+
+// Name implements Scenario.
+func (g RandomStragglers) Name() string {
+	return fmt.Sprintf("random-stragglers(seed=%d,p=%g,max=%g)", g.Seed, g.Prob, g.MaxFactor)
+}
+
+// EventsAt implements Scenario.
+func (g RandomStragglers) EventsAt(iter int) []Event {
+	// splitmix64-style mix of (seed, iter) so adjacent iterations get
+	// decorrelated streams.
+	z := uint64(g.Seed)*0x9e3779b97f4a7c15 + uint64(iter+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	rng := rand.New(rand.NewSource(int64(z)))
+	var out []Event
+	for rank := 0; rank < g.Ranks; rank++ {
+		p := rng.Float64()
+		f := 1 + rng.Float64()*(g.MaxFactor-1)
+		if p < g.Prob {
+			out = append(out, Event{
+				Kind: Straggler, Start: iter, End: iter + 1,
+				Rank: rank, Stage: -1, Factor: f,
+			})
+		}
+	}
+	return out
+}
+
+// Perturbation is a scenario resolved against one iteration: the
+// multiplicative factors the trainer applies to its cost components.
+type Perturbation struct {
+	events []Event
+}
+
+// At resolves the scenario at iteration iter; a nil scenario yields
+// the steady state.
+func At(s Scenario, iter int) Perturbation {
+	if s == nil {
+		return Perturbation{}
+	}
+	return Perturbation{events: s.EventsAt(iter)}
+}
+
+// Steady reports whether the iteration is unperturbed.
+func (p Perturbation) Steady() bool { return len(p.events) == 0 }
+
+// PreprocessFactor returns the combined data-path slowdown (1 = none).
+func (p Perturbation) PreprocessFactor() float64 { return p.product(PreprocessDegrade) }
+
+// P2PFactor returns the combined link-congestion scale (1 = none).
+func (p Perturbation) P2PFactor() float64 { return p.product(LinkCongestion) }
+
+func (p Perturbation) product(k Kind) float64 {
+	f := 1.0
+	for _, e := range p.events {
+		if e.Kind == k {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// Failure returns the iteration's NodeFailure event, if any.
+func (p Perturbation) Failure() (Event, bool) {
+	for _, e := range p.events {
+		if e.Kind == NodeFailure {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// RateSchedules builds the per-stage pipeline rate profiles for one DP
+// rank, combining every straggler that covers it. Returns nil when the
+// rank is unperturbed, so the trainer's fast path stays rate-free.
+func (p Perturbation) RateSchedules(rank, stages int) []pipeline.RateSchedule {
+	var hits []Event
+	for _, e := range p.events {
+		if e.Kind == Straggler && (e.Rank < 0 || e.Rank == rank) {
+			hits = append(hits, e)
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	out := make([]pipeline.RateSchedule, stages)
+	for s := 0; s < stages; s++ {
+		out[s] = combineRates(hits, s)
+	}
+	return out
+}
+
+// combineRates folds the stage's stragglers into one piecewise-
+// constant schedule. Open-ended stragglers (Until <= From, including
+// the all-zero default) slow [From, ∞); windowed ones slow only
+// [From, Until) of pipeline-local time.
+func combineRates(events []Event, stage int) pipeline.RateSchedule {
+	type window struct{ from, until, factor float64 }
+	var ws []window
+	for _, e := range events {
+		if e.Stage >= 0 && e.Stage != stage {
+			continue
+		}
+		from, until := e.From, e.Until
+		if until <= from {
+			until = math.Inf(1)
+		}
+		ws = append(ws, window{from, until, e.Factor})
+	}
+	if len(ws) == 0 {
+		return nil
+	}
+	// Breakpoints partition time into intervals of constant combined
+	// rate.
+	var cuts []float64
+	for _, w := range ws {
+		cuts = append(cuts, w.from, w.until)
+	}
+	cuts = append(cuts, math.Inf(1))
+	sort.Float64s(cuts)
+	var sched pipeline.RateSchedule
+	prev := 0.0
+	for _, c := range cuts {
+		if c <= prev {
+			continue
+		}
+		mid := prev + (c-prev)/2
+		if math.IsInf(c, 1) {
+			mid = prev + 1
+		}
+		rate := 1.0
+		for _, w := range ws {
+			if w.from <= mid && mid < w.until {
+				rate /= w.factor
+			}
+		}
+		// Merge equal-rate neighbours to keep schedules minimal.
+		if n := len(sched); n > 0 && sched[n-1].Rate == rate {
+			sched[n-1].Until = c
+		} else {
+			sched = append(sched, pipeline.RateSeg{Until: c, Rate: rate})
+		}
+		prev = c
+	}
+	// Trim a trailing nominal-rate tail: beyond the last segment the
+	// simulator runs at nominal speed anyway.
+	for n := len(sched); n > 0 && sched[n-1].Rate == 1; n = len(sched) {
+		sched = sched[:n-1]
+	}
+	return sched
+}

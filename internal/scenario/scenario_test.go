@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"disttrain/internal/pipeline"
+)
+
+func TestScheduleEventsAt(t *testing.T) {
+	s, err := New("t",
+		Event{Kind: Straggler, Start: 2, End: 5, Rank: 0, Stage: -1, Factor: 2},
+		Event{Kind: LinkCongestion, Start: 3, End: 4, Rank: -1, Stage: -1, Factor: 3},
+		Event{Kind: NodeFailure, Start: 4, Downtime: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EventsAt(0); len(got) != 0 {
+		t.Errorf("iteration 0 perturbed: %v", got)
+	}
+	if got := s.EventsAt(2); len(got) != 1 || got[0].Kind != Straggler {
+		t.Errorf("iteration 2 = %v, want one straggler", got)
+	}
+	if got := s.EventsAt(3); len(got) != 2 {
+		t.Errorf("iteration 3 = %v, want straggler+congestion", got)
+	}
+	p := At(s, 4)
+	if _, ok := p.Failure(); !ok {
+		t.Error("iteration 4 should fail")
+	}
+	if got := s.EventsAt(5); len(got) != 0 {
+		t.Errorf("half-open window leaked into iteration 5: %v", got)
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	for _, bad := range []Event{
+		{Kind: Straggler, Start: 2, End: 2, Factor: 2},
+		{Kind: Straggler, Start: -1, End: 3, Factor: 2},
+		{Kind: LinkCongestion, Start: 0, End: 1, Factor: 0.5},
+		{Kind: PreprocessDegrade, Start: 0, End: 1, Factor: math.NaN()},
+		{Kind: NodeFailure, Start: 0, Downtime: -1},
+		{Kind: Straggler, Start: 0, End: 1, Factor: 2, From: math.NaN()},
+		{Kind: Straggler, Start: 0, End: 1, Factor: 2, Until: math.Inf(1)},
+		{Kind: Straggler, Start: 0, End: 1, Factor: 2, From: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("event %+v accepted", bad)
+		}
+	}
+}
+
+func TestPerturbationFactors(t *testing.T) {
+	s, err := New("t",
+		Event{Kind: PreprocessDegrade, Start: 0, End: 2, Factor: 4},
+		Event{Kind: LinkCongestion, Start: 1, End: 2, Factor: 3},
+		Event{Kind: LinkCongestion, Start: 1, End: 3, Factor: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := At(s, 1)
+	if got := p.PreprocessFactor(); got != 4 {
+		t.Errorf("preprocess factor = %g, want 4", got)
+	}
+	if got := p.P2PFactor(); got != 6 {
+		t.Errorf("congestion factors should compose: got %g, want 6", got)
+	}
+	if !At(s, 9).Steady() {
+		t.Error("iteration 9 should be steady")
+	}
+	if At(nil, 0).PreprocessFactor() != 1 || At(nil, 0).P2PFactor() != 1 {
+		t.Error("nil scenario should be the steady state")
+	}
+}
+
+func TestRateSchedules(t *testing.T) {
+	s, err := New("t",
+		Event{Kind: Straggler, Start: 0, End: 1, Rank: 1, Stage: 2, Factor: 2},
+		Event{Kind: Straggler, Start: 0, End: 1, Rank: -1, Stage: 0, Factor: 4, From: 1, Until: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := At(s, 0)
+
+	// Rank 0 only sees the windowed all-rank stage-0 straggler.
+	r0 := p.RateSchedules(0, 4)
+	if r0 == nil {
+		t.Fatal("rank 0 should be perturbed")
+	}
+	want := pipeline.RateSchedule{{Until: 1, Rate: 1}, {Until: 3, Rate: 0.25}}
+	if !reflect.DeepEqual(r0[0], want) {
+		t.Errorf("rank 0 stage 0 schedule = %v, want %v", r0[0], want)
+	}
+	for s := 1; s < 4; s++ {
+		if len(r0[s]) != 0 {
+			t.Errorf("rank 0 stage %d unexpectedly perturbed: %v", s, r0[s])
+		}
+	}
+
+	// Rank 1 additionally runs stage 2 at half speed all iteration.
+	r1 := p.RateSchedules(1, 4)
+	if len(r1[2]) != 1 || !math.IsInf(r1[2][0].Until, 1) || r1[2][0].Rate != 0.5 {
+		t.Errorf("rank 1 stage 2 schedule = %v", r1[2])
+	}
+
+	// Unaffected rank stays rate-free... rank 2 still matches the
+	// all-rank event, so check a scenario without it.
+	only, _ := New("t2", Event{Kind: Straggler, Start: 0, End: 1, Rank: 0, Stage: -1, Factor: 2})
+	if got := At(only, 0).RateSchedules(3, 4); got != nil {
+		t.Errorf("unaffected rank got schedules: %v", got)
+	}
+
+	// A from-only window is open-ended from From — it must NOT widen to
+	// the whole iteration.
+	tail, err := New("t3", Event{Kind: Straggler, Start: 0, End: 1, Rank: -1, Stage: -1, Factor: 2, From: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := At(tail, 0).RateSchedules(0, 1)[0]
+	wantTail := pipeline.RateSchedule{{Until: 0.5, Rate: 1}, {Until: math.Inf(1), Rate: 0.5}}
+	if !reflect.DeepEqual(got, wantTail) {
+		t.Errorf("from-only window schedule = %v, want %v", got, wantTail)
+	}
+}
+
+func TestRandomStragglersDeterministic(t *testing.T) {
+	g := RandomStragglers{Seed: 7, Ranks: 8, Prob: 0.5, MaxFactor: 3}
+	sawOne := false
+	for i := 0; i < 20; i++ {
+		a, b := g.EventsAt(i), g.EventsAt(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iteration %d nondeterministic: %v vs %v", i, a, b)
+		}
+		if len(a) > 0 {
+			sawOne = true
+			for _, e := range a {
+				if e.Factor < 1 || e.Factor > 3 || e.Rank < 0 || e.Rank >= 8 {
+					t.Errorf("implausible straggler %+v", e)
+				}
+			}
+		}
+	}
+	if !sawOne {
+		t.Error("p=0.5 over 20 iterations x 8 ranks produced no stragglers")
+	}
+	// Different seeds diverge somewhere.
+	other := RandomStragglers{Seed: 8, Ranks: 8, Prob: 0.5, MaxFactor: 3}
+	same := true
+	for i := 0; i < 20; i++ {
+		if !reflect.DeepEqual(g.EventsAt(i), other.EventsAt(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 generated identical straggler schedules")
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("straggler:iters=2-5,rank=0,factor=2.5; congestion:iter=3,factor=3; failure:iter=6,downtime=12; preprocess:iters=0-1,factor=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EventsAt(5); len(got) != 1 || got[0].Kind != Straggler {
+		t.Errorf("inclusive iters upper bound broken: %v", got)
+	}
+	if got := s.EventsAt(3); len(got) != 2 {
+		t.Errorf("iteration 3 = %v, want straggler+congestion", got)
+	}
+	ev, ok := At(s, 6).Failure()
+	if !ok || ev.Downtime != 12 {
+		t.Errorf("failure = %+v ok=%v", ev, ok)
+	}
+
+	g, err := Parse("random-stragglers:seed=3,ranks=4,prob=0.9,max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.(RandomStragglers); !ok {
+		t.Fatalf("got %T, want RandomStragglers", g)
+	}
+
+	for _, bad := range []string{
+		"",
+		"warp:iter=1",
+		"straggler:factor=2",                        // missing iteration window
+		"straggler:iters=5-2,factor=2",              // empty window
+		"congestion:iter=1,factor=0.2",              // factor < 1
+		"failure:iter=2,downtime=-3",                // negative downtime
+		"straggler:iter=1,volume=9",                 // unknown key
+		"straggler:iter=1,from=nan",                 // non-finite window bound
+		"straggler:iter=1,iters=2-4,factor=2",       // iter and iters collide
+		"straggler:iter=1;random-stragglers:seed=1", // generator mixed with events
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"disttrain/internal/data"
+	"disttrain/internal/dfs"
+	"disttrain/internal/metrics"
+	"disttrain/internal/model"
+	"disttrain/internal/pipeline"
+	"disttrain/internal/reorder"
+	"disttrain/internal/scenario"
+)
+
+// This file is the concurrent iteration engine. One iteration splits
+// into three stages:
+//
+//  1. front-end: fetch the global batch and run Algorithm 1's DP-rank
+//     assignment — a pure function of the iteration index, which is
+//     what lets the async data service compute it one iteration ahead;
+//  2. rank workers: per DP rank, build microbatches, apply Algorithm 2
+//     ordering, and simulate the exact 1F1B timeline — fanned out over
+//     a bounded worker pool (Config.Parallelism);
+//  3. reduce: fold the per-rank outcomes in rank order into the
+//     iteration breakdown.
+//
+// Because every rank is evaluated independently and the reduce order
+// is fixed, the concurrent engine returns results byte-identical to
+// the sequential reference at any worker count — the same contract as
+// the orchestrator's parallel plan search.
+
+// preparedBatch is the front-end's output for one iteration.
+type preparedBatch struct {
+	iter  int
+	batch []data.Sample
+	ranks [][]data.Sample
+	err   error
+}
+
+// prepare fetches and assigns the global batch of one iteration.
+func (r *Runtime) prepare(iter int) preparedBatch {
+	batch := r.cfg.Corpus.GlobalBatch(int64(iter), r.cfg.Spec.GlobalBatch)
+	ranks, err := r.assign(batch)
+	return preparedBatch{iter: iter, batch: batch, ranks: ranks, err: err}
+}
+
+// rankOutcome is one DP rank's pipeline execution.
+type rankOutcome struct {
+	iterTime float64
+	bubble   float64
+	// ops is the rank's full timeline, captured only when tracing.
+	ops []pipeline.Op
+	err error
+}
+
+// runRank executes one DP rank's pipeline: microbatch construction,
+// Algorithm 2 ordering, exact 1F1B simulation — under the iteration's
+// scenario perturbation. Pure with respect to runtime state, so rank
+// workers may run concurrently.
+func (r *Runtime) runRank(d int, samples []data.Sample, p2p []float64, pert scenario.Perturbation) rankOutcome {
+	cfg := r.cfg
+	m := cfg.Spec.Microbatch
+	k := len(samples) / m
+	mbs := make([]reorder.Microbatch, k)
+	for j := 0; j < k; j++ {
+		// A microbatch of M samples: aggregate their shapes.
+		shape := aggregateShape(samples[j*m : (j+1)*m])
+		fwd, bwd := r.microbatchWork(shape)
+		mbs[j] = reorder.Microbatch{Index: j, Fwd: fwd, Bwd: bwd}
+	}
+	if cfg.Reorder {
+		vpp := cfg.Plan.Modules[model.Backbone].Config.VPP
+		var err error
+		mbs, err = reorder.InterReorderVPP(mbs, p2p, vpp)
+		if err != nil {
+			return rankOutcome{err: err}
+		}
+	}
+	work := pipeline.Work{
+		Fwd:   make([][]float64, r.stages),
+		Bwd:   make([][]float64, r.stages),
+		P2P:   p2p,
+		Rates: pert.RateSchedules(d, r.stages),
+	}
+	for s := 0; s < r.stages; s++ {
+		work.Fwd[s] = make([]float64, k)
+		work.Bwd[s] = make([]float64, k)
+		for j, mb := range mbs {
+			work.Fwd[s][j] = mb.Fwd[s]
+			work.Bwd[s][j] = mb.Bwd[s]
+		}
+	}
+	res, err := pipeline.Simulate(pipeline.OneFOneB, work)
+	if err != nil {
+		return rankOutcome{err: err}
+	}
+	out := rankOutcome{iterTime: res.IterTime, bubble: res.MeanBubbleFraction()}
+	if cfg.Trace != nil {
+		out.ops = res.Ops
+	}
+	return out
+}
+
+// finishIteration is the deterministic reduce: it folds the per-rank
+// outcome slots in rank order and prices the iteration's serial
+// phases. Both the sequential reference and the concurrent engine end
+// here, so their results agree bit for bit.
+func (r *Runtime) finishIteration(p preparedBatch, pert scenario.Perturbation, outcomes []rankOutcome) (IterationStats, error) {
+	cfg := r.cfg
+	spec := cfg.Spec
+	var bd metrics.Breakdown
+
+	// Data arrival. Disaggregated preprocessing only pays the
+	// (prefetched) tensor receive; the co-located stall is priced after
+	// the pipeline time is known, because dataloader workers overlap
+	// with training and only the overflow plus CPU interference is
+	// exposed (§2.3, Figure 17). Scenario degradation scales the data
+	// path either way.
+	dp := cfg.Plan.Modules[model.Backbone].Config.DP
+	perRank := len(p.batch) / dp
+	ppFactor := pert.PreprocessFactor()
+	colocatedCPU := 0.0
+	if cfg.DisaggregatedPreprocess {
+		tokens := float64(perRank) * float64(spec.Model.SeqLen)
+		bd.PreprocessStall = (tokens*2/spec.Cluster.CrossNodeBandwidthPerGPU() + cfg.PreprocessFetchLatency) * ppFactor
+	} else {
+		for d := 0; d < dp; d++ {
+			stall := cfg.PreprocessCost.NodeStallSeconds(p.batch[d*perRank : (d+1)*perRank])
+			colocatedCPU = math.Max(colocatedCPU, stall)
+		}
+		colocatedCPU *= ppFactor
+	}
+
+	// Reduce the rank outcomes in rank order.
+	worstPipe, bestPipe := 0.0, math.Inf(1)
+	worstBubble := 0.0
+	for d := range outcomes {
+		if outcomes[d].err != nil {
+			return IterationStats{}, outcomes[d].err
+		}
+		if outcomes[d].iterTime > worstPipe {
+			worstPipe = outcomes[d].iterTime
+			worstBubble = outcomes[d].bubble
+		}
+		bestPipe = math.Min(bestPipe, outcomes[d].iterTime)
+	}
+	bd.Pipeline = worstPipe
+
+	// Co-located preprocessing: workers hide a bounded fraction of the
+	// pipeline time; the rest of the CPU work stalls training, and
+	// whatever does overlap still interferes with the host-side
+	// training path.
+	if !cfg.DisaggregatedPreprocess {
+		hidden := math.Min(colocatedCPU, cfg.ColocOverlapCapacity*worstPipe)
+		bd.PreprocessStall = (colocatedCPU - hidden) + cfg.ColocInterference*hidden
+	}
+
+	// Gradient synchronisation (ZeRO-1) per module, concurrent on
+	// disjoint GPU sets: the slowest exposed sync gates the iteration.
+	bd.GradSync = r.gradSync()
+
+	// Optimizer step: memory-bound update of the local shard.
+	bd.Optimizer = r.optimizerStep()
+
+	// Asynchronous checkpointing back-pressure.
+	if r.ckpt != nil && cfg.CheckpointEvery > 0 && p.iter > 0 && p.iter%cfg.CheckpointEvery == 0 {
+		state := []byte(fmt.Sprintf("iter-%d", p.iter))
+		if err := r.ckpt.Save(dfs.Checkpoint{Step: p.iter, State: state}); err != nil {
+			return IterationStats{}, err
+		}
+		ckptSeconds := r.checkpointSeconds()
+		budget := float64(cfg.CheckpointEvery) * worstPipe
+		if ckptSeconds > budget {
+			bd.CheckpointStall = ckptSeconds - budget
+		}
+	}
+
+	flops := r.iterationFLOPs(p.batch)
+	total := bd.Total()
+	stats := IterationStats{
+		Index:           p.iter,
+		Breakdown:       bd,
+		BubbleFrac:      worstBubble,
+		StragglerSpread: (worstPipe - bestPipe) / math.Max(worstPipe, 1e-12),
+		FLOPs:           flops,
+		MFU:             metrics.MFU(flops, cfg.Plan.TotalGPUs(), spec.Cluster.GPU.PeakFLOPS, total),
+		Perturbed:       !pert.Steady(),
+	}
+	r.emitTrace(stats, outcomes)
+	return stats, nil
+}
+
+// emitTrace appends the iteration's timeline to the configured trace:
+// the serial phases on pid 0, every rank's pipeline ops on pid d+1
+// (tid = stage), all offset by the run's wall-clock cursor.
+func (r *Runtime) emitTrace(stats IterationStats, outcomes []rankOutcome) {
+	tr := r.cfg.Trace
+	if tr == nil {
+		return
+	}
+	bd := stats.Breakdown
+	t := r.clock
+	if bd.PreprocessStall > 0 {
+		tr.Complete("preprocess", "data", 0, 0, t, bd.PreprocessStall)
+	}
+	pipeStart := t + bd.PreprocessStall
+	for d, out := range outcomes {
+		for _, op := range out.ops {
+			name := fmt.Sprintf("%s%d", op.Kind, op.MB)
+			tr.Complete(name, "pipeline", d+1, op.Stage, pipeStart+op.Start, op.End-op.Start)
+		}
+	}
+	cur := pipeStart + bd.Pipeline
+	for _, phase := range []struct {
+		name string
+		dur  float64
+	}{
+		{"grad-sync", bd.GradSync},
+		{"optimizer", bd.Optimizer},
+		{"checkpoint-stall", bd.CheckpointStall},
+	} {
+		if phase.dur > 0 {
+			tr.Complete(phase.name, "runtime", 0, 0, cur, phase.dur)
+		}
+		cur += phase.dur
+	}
+	r.clock += bd.Total()
+}
+
+// workers resolves the rank-worker pool size.
+func (r *Runtime) workers() int {
+	if r.cfg.Parallelism >= 1 {
+		return r.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// iterationConcurrent executes one prepared iteration with rank
+// workers fanned out over the bounded pool.
+func (r *Runtime) iterationConcurrent(p preparedBatch) (IterationStats, error) {
+	if p.err != nil {
+		return IterationStats{}, p.err
+	}
+	pert := scenario.At(r.cfg.Scenario, p.iter)
+	p2p := r.iterP2P(pert)
+	outcomes := make([]rankOutcome, len(p.ranks))
+	workers := r.workers()
+	if workers > len(p.ranks) {
+		workers = len(p.ranks)
+	}
+	if workers <= 1 {
+		for d := range p.ranks {
+			outcomes[d] = r.runRank(d, p.ranks[d], p2p, pert)
+		}
+		return r.finishIteration(p, pert, outcomes)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				d := int(cursor.Add(1)) - 1
+				if d >= len(p.ranks) {
+					return
+				}
+				outcomes[d] = r.runRank(d, p.ranks[d], p2p, pert)
+			}
+		}()
+	}
+	wg.Wait()
+	return r.finishIteration(p, pert, outcomes)
+}
+
+// iterationSequential is the pinned serial path: the same stages, run
+// inline on the calling goroutine.
+func (r *Runtime) iterationSequential(p preparedBatch) (IterationStats, error) {
+	if p.err != nil {
+		return IterationStats{}, p.err
+	}
+	pert := scenario.At(r.cfg.Scenario, p.iter)
+	p2p := r.iterP2P(pert)
+	outcomes := make([]rankOutcome, len(p.ranks))
+	for d := range p.ranks {
+		outcomes[d] = r.runRank(d, p.ranks[d], p2p, pert)
+	}
+	return r.finishIteration(p, pert, outcomes)
+}
+
+// RunIteration executes one training iteration on the concurrent
+// engine and returns its stats.
+func (r *Runtime) RunIteration(iter int) (IterationStats, error) {
+	return r.iterationConcurrent(r.prepare(iter))
+}
+
+// RunIterationSequential is the single-threaded reference
+// implementation, kept as the equivalence and benchmarking baseline
+// for the concurrent engine (mirroring PlanDistTrainSequential): the
+// concurrent path must return byte-identical stats at any worker
+// count.
+func (r *Runtime) RunIterationSequential(iter int) (IterationStats, error) {
+	return r.iterationSequential(r.prepare(iter))
+}
+
+// Run executes n iterations on the concurrent engine and aggregates.
+// The async data service prefetches iteration i+1's batch and
+// Algorithm 1 assignment while iteration i trains; scenario-injected
+// node failures trigger checkpoint-restore recovery with the lost
+// iterations re-executed.
+func (r *Runtime) Run(n int) (*Result, error) {
+	return r.runLoop(n, r.iterationConcurrent, true)
+}
+
+// RunSequential is the pinned serial counterpart of Run: no rank
+// workers, no prefetch. Byte-identical results; the benchmark
+// baseline.
+func (r *Runtime) RunSequential(n int) (*Result, error) {
+	return r.runLoop(n, r.iterationSequential, false)
+}
+
+func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error), prefetch bool) (*Result, error) {
+	if n <= 0 {
+		return nil, errors.New("trainer: need at least one iteration")
+	}
+	res := &Result{Strategy: r.cfg.Plan.Strategy, GPUs: r.cfg.Plan.TotalGPUs()}
+	var timeSum, usefulFlops float64
+	executedOnce := make(map[int]bool, n)
+	firedFailures := make(map[int]bool)
+	// The async data service: at most one outstanding prepare, consumed
+	// (or discarded, after a failure rewind) before the next launches.
+	var pendingIter int
+	var pending chan preparedBatch
+	fetch := func(i int) preparedBatch {
+		if pending != nil {
+			p := <-pending
+			pending = nil
+			if pendingIter == i {
+				return p
+			}
+		}
+		return r.prepare(i)
+	}
+	launch := func(i int) {
+		if !prefetch || i >= n {
+			return
+		}
+		ch := make(chan preparedBatch, 1)
+		go func() { ch <- r.prepare(i) }()
+		pending, pendingIter = ch, i
+	}
+
+	i := 0
+	for i < n {
+		// A node failure interrupts the iteration it lands on: pay the
+		// downtime, restore the latest DFS checkpoint, re-execute the
+		// iterations lost since it. Each failure event fires once.
+		if ev, ok := scenario.At(r.cfg.Scenario, i).Failure(); ok && !firedFailures[ev.Start] {
+			firedFailures[ev.Start] = true
+			resume, restore := r.recoverFromFailure()
+			down := ev.Downtime + restore
+			res.Failures++
+			res.DowntimeSeconds += down
+			res.ReExecutedIterations += i - resume
+			res.Recoveries = append(res.Recoveries, Recovery{FailedAt: i, ResumedFrom: resume, Downtime: down})
+			if tr := r.cfg.Trace; tr != nil {
+				tr.Instant("node-failure", "scenario", 0, r.clock, map[string]any{"iter": i})
+				tr.Complete("recovery", "scenario", 0, 0, r.clock, down)
+			}
+			r.clock += down
+			i = resume
+			continue
+		}
+		p := fetch(i)
+		launch(i + 1)
+		st, err := step(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, st)
+		timeSum += st.Breakdown.Total()
+		if !executedOnce[i] {
+			executedOnce[i] = true
+			usefulFlops += st.FLOPs
+		}
+		i++
+	}
+
+	executed := float64(len(res.Iterations))
+	res.MeanIterTime = timeSum / executed
+	wall := timeSum + res.DowntimeSeconds
+	res.MFU = metrics.MFU(usefulFlops, res.GPUs, r.cfg.Spec.Cluster.GPU.PeakFLOPS, wall)
+	if res.Failures == 0 {
+		res.TokensPerSec = metrics.Throughput(r.cfg.Spec.GlobalBatch, r.cfg.Spec.Model.SeqLen, res.MeanIterTime)
+	} else {
+		// Useful tokens over total wall-clock: redone iterations and
+		// downtime cost throughput, they don't produce tokens twice.
+		res.TokensPerSec = float64(n) * float64(r.cfg.Spec.GlobalBatch) * float64(r.cfg.Spec.Model.SeqLen) / wall
+	}
+	if r.ckpt != nil {
+		r.ckpt.Flush()
+		res.CheckpointsSaved = r.ckpt.Saved()
+	}
+	return res, nil
+}
+
+// recoverFromFailure finds the resume point after a node failure. The
+// checkpoint writer is the paper's dedicated process (§6): it survives
+// training-node failures, so in-flight saves complete before the
+// restore reads the newest checkpoint. Without checkpointing (or
+// before the first save) training restarts from iteration 0.
+func (r *Runtime) recoverFromFailure() (resume int, restoreSeconds float64) {
+	if r.ckpt == nil {
+		return 0, 0
+	}
+	r.ckpt.Flush()
+	ck, d, err := r.ckpt.LatestWithCost()
+	if err != nil {
+		return 0, 0
+	}
+	return ck.Step + 1, d
+}

@@ -1,0 +1,102 @@
+package trainer
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"disttrain/internal/model"
+	"disttrain/internal/orchestrator"
+	"disttrain/internal/scenario"
+)
+
+// TestConcurrentRuntimeEquivalence is the engine's core guarantee
+// (mirroring the plan search's TestPlanSearchEquivalence): the
+// concurrent runtime — rank workers plus the async data service —
+// produces a Result byte-identical to the pinned sequential reference
+// at every worker-pool size, steady state and under scenario
+// perturbation alike. Run under -race by the CI race gate.
+func TestConcurrentRuntimeEquivalence(t *testing.T) {
+	spec, corpus := buildSpec(t, model.MLLM9B(), 12, 96, model.FullTraining)
+	plan, err := orchestrator.PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := scenario.New("mixed",
+		scenario.Event{Kind: scenario.Straggler, Start: 1, End: 3, Rank: 0, Stage: -1, Factor: 2.5},
+		scenario.Event{Kind: scenario.Straggler, Start: 2, End: 4, Rank: -1, Stage: 0, Factor: 3, From: 0.01, Until: 0.05},
+		scenario.Event{Kind: scenario.LinkCongestion, Start: 0, End: 2, Factor: 4},
+		scenario.Event{Kind: scenario.PreprocessDegrade, Start: 1, End: 4, Factor: 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 4
+	for _, tc := range []struct {
+		name string
+		mk   func() Config
+	}{
+		{"disttrain-steady", func() Config { return DistTrainConfig(spec, plan, corpus) }},
+		{"megatron-colocated", func() Config { return MegatronConfig(spec, plan, corpus) }},
+		{"disttrain-perturbed", func() Config {
+			c := DistTrainConfig(spec, plan, corpus)
+			c.Scenario = perturbed
+			return c
+		}},
+		{"random-stragglers", func() Config {
+			c := DistTrainConfig(spec, plan, corpus)
+			c.Scenario = scenario.RandomStragglers{Seed: 11, Ranks: 16, Prob: 0.4, MaxFactor: 3}
+			return c
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := New(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			want, err := ref.RunSequential(iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				cfg := tc.mk()
+				cfg.Parallelism = par
+				rt, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rt.Run(iters)
+				rt.Close()
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("parallelism %d diverged from sequential reference:\ngot  %+v\nwant %+v", par, got, want)
+				}
+			}
+
+			// Single iterations agree too, at every index the run covered.
+			rt, err := New(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			for i := 0; i < iters; i++ {
+				seq, err := rt.RunIterationSequential(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conc, err := rt.RunIteration(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seq, conc) {
+					t.Errorf("iteration %d: concurrent stats diverged:\ngot  %+v\nwant %+v", i, conc, seq)
+				}
+			}
+		})
+	}
+}

@@ -7,12 +7,23 @@
 // DFS. All GPU work is charged through the calibrated profiler; all
 // control decisions (assignment, ordering, straggler propagation) are
 // executed for real.
+//
+// The runtime is a concurrent, event-driven engine: a batch/assignment
+// front-end (prefetched one iteration ahead by the async data service),
+// per-DP-rank pipeline workers on a bounded pool, and a deterministic
+// reduce that keeps results byte-identical to the pinned sequential
+// reference (RunIterationSequential / RunSequential) at any worker
+// count — the same engineering contract as the orchestrator's parallel
+// plan search. Scenario injection (internal/scenario) perturbs stage
+// compute, the data path, and the fabric, and can kill the job to
+// exercise checkpoint-restore recovery.
 package trainer
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"disttrain/internal/comm"
 	"disttrain/internal/data"
@@ -20,8 +31,26 @@ import (
 	"disttrain/internal/metrics"
 	"disttrain/internal/model"
 	"disttrain/internal/orchestrator"
-	"disttrain/internal/pipeline"
 	"disttrain/internal/reorder"
+	"disttrain/internal/scenario"
+)
+
+// Defaults for the cost-model knobs below; a zero-valued field means
+// "use the default", so hand-built Configs keep the historical
+// behaviour.
+const (
+	// DefaultPreprocessFetchLatency is the fixed per-iteration latency
+	// of fetching preprocessed tensors from the CPU nodes.
+	DefaultPreprocessFetchLatency = 2e-3
+	// DefaultAsyncP2PExposed is the fraction of each inter-unit
+	// transfer asynchronous sends leave on the critical path (§6).
+	DefaultAsyncP2PExposed = 0.2
+	// DefaultColocOverlapCapacity is the fraction of pipeline time
+	// dataloader workers can hide co-located preprocessing behind.
+	DefaultColocOverlapCapacity = 0.5
+	// DefaultColocInterference is the CPU-interference tax charged on
+	// whatever co-located preprocessing does overlap with training.
+	DefaultColocInterference = 0.15
 )
 
 // Config describes one training run.
@@ -51,6 +80,37 @@ type Config struct {
 	CheckpointEvery int
 	// FS receives checkpoints; defaults to a fresh simulated DFS.
 	FS *dfs.FS
+
+	// Parallelism bounds the concurrent runtime's per-DP-rank pipeline
+	// worker pool; values < 1 mean GOMAXPROCS. The results are
+	// byte-identical at any value (pinned by test against the
+	// sequential reference).
+	Parallelism int
+	// Scenario injects timed perturbation events — stragglers,
+	// preprocessing degradation, link congestion, node failures; nil
+	// is the steady state.
+	Scenario scenario.Scenario
+	// Trace, when non-nil, receives the run's execution timeline in
+	// Chrome trace format (load in chrome://tracing or Perfetto).
+	Trace *metrics.Trace
+
+	// PreprocessFetchLatency is the fixed per-iteration latency of
+	// fetching preprocessed tensors from the disaggregated CPU nodes,
+	// in seconds; 0 means DefaultPreprocessFetchLatency.
+	PreprocessFetchLatency float64
+	// AsyncP2PExposed is the fraction of each inter-unit activation
+	// transfer that asynchronous sends leave exposed on the critical
+	// path (§6); synchronous sends always expose the full transfer.
+	// 0 means DefaultAsyncP2PExposed.
+	AsyncP2PExposed float64
+	// ColocOverlapCapacity is the fraction of pipeline time the
+	// co-located dataloader workers can hide preprocessing behind
+	// (§2.3, Figure 17); 0 means DefaultColocOverlapCapacity.
+	ColocOverlapCapacity float64
+	// ColocInterference is the CPU-interference tax charged on the
+	// hidden fraction of co-located preprocessing; 0 means
+	// DefaultColocInterference.
+	ColocInterference float64
 }
 
 // DistTrainConfig returns the production configuration for a plan: all
@@ -63,20 +123,39 @@ func DistTrainConfig(spec orchestrator.Spec, plan *orchestrator.Plan, corpus *da
 		AsyncP2P:                true,
 		PreprocessCost:          data.DefaultCostModel(),
 		SyncOverlap:             0.7,
+		PreprocessFetchLatency:  DefaultPreprocessFetchLatency,
+		AsyncP2PExposed:         DefaultAsyncP2PExposed,
+		ColocOverlapCapacity:    DefaultColocOverlapCapacity,
+		ColocInterference:       DefaultColocInterference,
 	}
 }
 
 // MegatronConfig returns the monolithic baseline configuration: random
 // (corpus) order, co-located preprocessing, synchronous sends.
 func MegatronConfig(spec orchestrator.Spec, plan *orchestrator.Plan, corpus *data.Corpus) Config {
-	return Config{
-		Spec: spec, Plan: plan, Corpus: corpus,
-		Reorder:                 false,
-		DisaggregatedPreprocess: false,
-		AsyncP2P:                false,
-		PreprocessCost:          data.DefaultCostModel(),
-		SyncOverlap:             0.7,
+	cfg := DistTrainConfig(spec, plan, corpus)
+	cfg.Reorder = false
+	cfg.DisaggregatedPreprocess = false
+	cfg.AsyncP2P = false
+	return cfg
+}
+
+// withDefaults resolves zero-valued cost-model knobs to the documented
+// defaults.
+func (c Config) withDefaults() Config {
+	if c.PreprocessFetchLatency == 0 {
+		c.PreprocessFetchLatency = DefaultPreprocessFetchLatency
 	}
+	if c.AsyncP2PExposed == 0 {
+		c.AsyncP2PExposed = DefaultAsyncP2PExposed
+	}
+	if c.ColocOverlapCapacity == 0 {
+		c.ColocOverlapCapacity = DefaultColocOverlapCapacity
+	}
+	if c.ColocInterference == 0 {
+		c.ColocInterference = DefaultColocInterference
+	}
+	return c
 }
 
 // Validate checks the configuration.
@@ -92,6 +171,18 @@ func (c Config) Validate() error {
 	}
 	if c.SyncOverlap < 0 || c.SyncOverlap > 1 {
 		return fmt.Errorf("trainer: SyncOverlap %g outside [0,1]", c.SyncOverlap)
+	}
+	if c.PreprocessFetchLatency < 0 {
+		return fmt.Errorf("trainer: PreprocessFetchLatency %g negative", c.PreprocessFetchLatency)
+	}
+	if c.AsyncP2PExposed < 0 || c.AsyncP2PExposed > 1 {
+		return fmt.Errorf("trainer: AsyncP2PExposed %g outside [0,1]", c.AsyncP2PExposed)
+	}
+	if c.ColocOverlapCapacity < 0 || c.ColocOverlapCapacity > 1 {
+		return fmt.Errorf("trainer: ColocOverlapCapacity %g outside [0,1]", c.ColocOverlapCapacity)
+	}
+	if c.ColocInterference < 0 {
+		return fmt.Errorf("trainer: ColocInterference %g negative", c.ColocInterference)
 	}
 	return nil
 }
@@ -110,6 +201,20 @@ type IterationStats struct {
 	FLOPs float64
 	// MFU is this iteration's Model FLOPs Utilization.
 	MFU float64
+	// Perturbed marks iterations the scenario touched.
+	Perturbed bool
+}
+
+// Recovery records one survived node failure.
+type Recovery struct {
+	// FailedAt is the iteration the failure interrupted.
+	FailedAt int
+	// ResumedFrom is the first iteration re-executed after restoring
+	// the latest DFS checkpoint (0 when no checkpoint existed).
+	ResumedFrom int
+	// Downtime is detection/restart plus the checkpoint restore read,
+	// in simulated seconds.
+	Downtime float64
 }
 
 // Result aggregates a run.
@@ -118,16 +223,28 @@ type Result struct {
 	GPUs       int
 	Iterations []IterationStats
 	// MeanIterTime in seconds, MFU and TokensPerSec aggregated over all
-	// iterations.
+	// iterations. Under failures, MFU and TokensPerSec count only
+	// useful (non-re-executed) work over the total wall-clock including
+	// downtime.
 	MeanIterTime float64
 	MFU          float64
 	TokensPerSec float64
 	// CheckpointsSaved counts asynchronous checkpoints that reached the
 	// DFS.
 	CheckpointsSaved int
+	// Failures counts scenario-injected node failures survived;
+	// ReExecutedIterations the iterations redone after restores, and
+	// DowntimeSeconds the total detection/restart + restore time.
+	Failures             int
+	ReExecutedIterations int
+	DowntimeSeconds      float64
+	// Recoveries records each failure in order.
+	Recoveries []Recovery
 }
 
-// Runtime executes iterations for a fixed configuration.
+// Runtime executes iterations for a fixed configuration. Its methods
+// are not safe for concurrent use — the concurrency lives inside the
+// engine, not across callers.
 type Runtime struct {
 	cfg  Config
 	ckpt *dfs.CheckpointManager
@@ -137,6 +254,8 @@ type Runtime struct {
 	llmFirst int // index of first LLM stage
 	genStage int
 	p2p      []float64
+	// clock is the trace emission cursor in simulated seconds.
+	clock float64
 }
 
 // New validates the config and builds a runtime.
@@ -144,7 +263,7 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Runtime{cfg: cfg}
+	r := &Runtime{cfg: cfg.withDefaults()}
 	lm := cfg.Plan.Modules[model.Backbone].Config
 	r.stages = 1 + lm.PP + 1
 	r.llmFirst = 1
@@ -156,6 +275,12 @@ func New(cfg Config) (*Runtime, error) {
 			r.fs = dfs.New()
 		}
 		r.ckpt = dfs.NewCheckpointManager(r.fs, "train")
+	}
+	if tr := r.cfg.Trace; tr != nil {
+		tr.NameProcess(0, "runtime")
+		for d := 0; d < lm.DP; d++ {
+			tr.NameProcess(d+1, fmt.Sprintf("dp-rank %d", d))
+		}
 	}
 	return r, nil
 }
@@ -181,13 +306,28 @@ func (r *Runtime) buildP2P() []float64 {
 	}
 	exposed := 1.0
 	if r.cfg.AsyncP2P {
-		exposed = 0.2
+		exposed = r.cfg.AsyncP2PExposed
 	}
 	p2p := make([]float64, r.stages-1)
 	for i := range p2p {
 		p2p[i] = cost.P2P(bytesLM) * exposed
 	}
 	return p2p
+}
+
+// iterP2P returns the iteration's link costs: the plan's baseline,
+// scaled by whatever congestion the scenario injects. The steady state
+// reuses the shared slice so the unperturbed path allocates nothing.
+func (r *Runtime) iterP2P(pert scenario.Perturbation) []float64 {
+	f := pert.P2PFactor()
+	if f == 1 {
+		return r.p2p
+	}
+	scaled := make([]float64, len(r.p2p))
+	for i, v := range r.p2p {
+		scaled[i] = v * f
+	}
+	return scaled
 }
 
 // microbatchWork builds the per-stage fwd/bwd durations of one
@@ -235,6 +375,15 @@ func (r *Runtime) microbatchWork(shape model.SampleShape) (fwd, bwd []float64) {
 	return fwd, bwd
 }
 
+// sampleCost prices one sample's data-heterogeneous compute (encoder
+// plus generator), the size notion Algorithms 1's partition and the
+// rebalance both order by.
+func (r *Runtime) sampleCost(s data.Sample) float64 {
+	p := r.cfg.Spec.Profiler
+	sh := s.Shape()
+	return p.SampleTrain(model.Encoder, 1, sh) + p.SampleTrain(model.Generator, 1, sh)
+}
+
 // assign distributes the global batch across DP ranks: DistTrain's
 // Algorithm 1 when reordering, contiguous blocks (the framework
 // default) otherwise. Each rank's samples are then grouped into
@@ -252,24 +401,20 @@ func (r *Runtime) assign(batch []data.Sample) ([][]data.Sample, error) {
 		}
 		return out, nil
 	}
-	p := r.cfg.Spec.Profiler
-	size := func(s data.Sample) float64 {
-		sh := s.Shape()
-		return p.SampleTrain(model.Encoder, 1, sh) + p.SampleTrain(model.Generator, 1, sh)
-	}
-	_, groups, err := reorder.IntraReorder(batch, size, dp)
+	_, groups, err := reorder.IntraReorder(batch, r.sampleCost, dp)
 	if err != nil {
 		return nil, err
 	}
 	// The LPT partition balances load but may leave groups of unequal
 	// cardinality; rebalance counts while preserving the size ordering
 	// (each rank must own exactly K*M samples for synchronous 1F1B).
-	return rebalance(groups, perRank), nil
+	return rebalance(groups, perRank, r.sampleCost), nil
 }
 
 // rebalance moves surplus samples (smallest first, so balance damage is
-// minimal) from overfull groups to underfull ones.
-func rebalance(groups [][]data.Sample, perRank int) [][]data.Sample {
+// minimal) from overfull groups to underfull ones. The multiset of
+// samples is preserved: only ownership moves.
+func rebalance(groups [][]data.Sample, perRank int, size func(data.Sample) float64) [][]data.Sample {
 	var surplus []data.Sample
 	for d := range groups {
 		if len(groups[d]) > perRank {
@@ -277,162 +422,18 @@ func rebalance(groups [][]data.Sample, perRank int) [][]data.Sample {
 			groups[d] = groups[d][:perRank]
 		}
 	}
+	// Smallest first; stable so ties keep the deterministic group
+	// emission order.
+	sort.SliceStable(surplus, func(a, b int) bool {
+		return size(surplus[a]) < size(surplus[b])
+	})
 	for d := range groups {
 		for len(groups[d]) < perRank && len(surplus) > 0 {
-			groups[d] = append(groups[d], surplus[len(surplus)-1])
-			surplus = surplus[:len(surplus)-1]
+			groups[d] = append(groups[d], surplus[0])
+			surplus = surplus[1:]
 		}
 	}
 	return groups
-}
-
-// RunIteration executes one training iteration and returns its stats.
-func (r *Runtime) RunIteration(iter int) (IterationStats, error) {
-	cfg := r.cfg
-	spec := cfg.Spec
-	batch := cfg.Corpus.GlobalBatch(int64(iter), spec.GlobalBatch)
-
-	var bd metrics.Breakdown
-
-	// 1. Data arrival. Disaggregated preprocessing only pays the
-	// (prefetched) tensor receive; the co-located stall is priced after
-	// the pipeline time is known, because dataloader workers overlap
-	// with training and only the overflow plus CPU interference is
-	// exposed (§2.3, Figure 17).
-	dp := cfg.Plan.Modules[model.Backbone].Config.DP
-	perRank := len(batch) / dp
-	colocatedCPU := 0.0
-	if cfg.DisaggregatedPreprocess {
-		tokens := float64(perRank) * float64(spec.Model.SeqLen)
-		bd.PreprocessStall = tokens*2/spec.Cluster.CrossNodeBandwidthPerGPU() + 2e-3
-	} else {
-		for d := 0; d < dp; d++ {
-			stall := cfg.PreprocessCost.NodeStallSeconds(batch[d*perRank : (d+1)*perRank])
-			colocatedCPU = math.Max(colocatedCPU, stall)
-		}
-	}
-
-	// 2. Assignment across DP ranks (Algorithm 1 when reordering).
-	ranks, err := r.assign(batch)
-	if err != nil {
-		return IterationStats{}, err
-	}
-
-	// 3. Per-rank microbatch construction, Algorithm 2 ordering, and
-	// exact 1F1B simulation.
-	m := spec.Microbatch
-	worstPipe, bestPipe := 0.0, math.Inf(1)
-	worstBubble := 0.0
-	for d := range ranks {
-		k := len(ranks[d]) / m
-		mbs := make([]reorder.Microbatch, k)
-		for j := 0; j < k; j++ {
-			// A microbatch of M samples: aggregate their shapes.
-			shape := aggregateShape(ranks[d][j*m : (j+1)*m])
-			fwd, bwd := r.microbatchWork(shape)
-			mbs[j] = reorder.Microbatch{Index: j, Fwd: fwd, Bwd: bwd}
-		}
-		if cfg.Reorder {
-			vpp := cfg.Plan.Modules[model.Backbone].Config.VPP
-			mbs, err = reorder.InterReorderVPP(mbs, r.p2p, vpp)
-			if err != nil {
-				return IterationStats{}, err
-			}
-		}
-		work := pipeline.Work{
-			Fwd: make([][]float64, r.stages),
-			Bwd: make([][]float64, r.stages),
-			P2P: r.p2p,
-		}
-		for s := 0; s < r.stages; s++ {
-			work.Fwd[s] = make([]float64, k)
-			work.Bwd[s] = make([]float64, k)
-			for j, mb := range mbs {
-				work.Fwd[s][j] = mb.Fwd[s]
-				work.Bwd[s][j] = mb.Bwd[s]
-			}
-		}
-		res, err := pipeline.Simulate(pipeline.OneFOneB, work)
-		if err != nil {
-			return IterationStats{}, err
-		}
-		if res.IterTime > worstPipe {
-			worstPipe = res.IterTime
-			worstBubble = res.MeanBubbleFraction()
-		}
-		bestPipe = math.Min(bestPipe, res.IterTime)
-	}
-	bd.Pipeline = worstPipe
-
-	// Co-located preprocessing: workers hide up to half the pipeline
-	// time; the rest of the CPU work stalls training, and whatever does
-	// overlap still interferes with the host-side training path.
-	if !cfg.DisaggregatedPreprocess {
-		const (
-			overlapCapacity = 0.5
-			interference    = 0.15
-		)
-		hidden := math.Min(colocatedCPU, overlapCapacity*worstPipe)
-		bd.PreprocessStall = (colocatedCPU - hidden) + interference*hidden
-	}
-
-	// 4. Gradient synchronisation (ZeRO-1) per module, concurrent on
-	// disjoint GPU sets: the slowest exposed sync gates the iteration.
-	bd.GradSync = r.gradSync()
-
-	// 5. Optimizer step: memory-bound update of the local shard.
-	bd.Optimizer = r.optimizerStep()
-
-	// 6. Asynchronous checkpointing back-pressure.
-	if r.ckpt != nil && cfg.CheckpointEvery > 0 && iter > 0 && iter%cfg.CheckpointEvery == 0 {
-		state := []byte(fmt.Sprintf("iter-%d", iter))
-		if err := r.ckpt.Save(dfs.Checkpoint{Step: iter, State: state}); err != nil {
-			return IterationStats{}, err
-		}
-		ckptSeconds := r.checkpointSeconds()
-		budget := float64(cfg.CheckpointEvery) * worstPipe
-		if ckptSeconds > budget {
-			bd.CheckpointStall = ckptSeconds - budget
-		}
-	}
-
-	flops := r.iterationFLOPs(batch)
-	total := bd.Total()
-	stats := IterationStats{
-		Index:           iter,
-		Breakdown:       bd,
-		BubbleFrac:      worstBubble,
-		StragglerSpread: (worstPipe - bestPipe) / math.Max(worstPipe, 1e-12),
-		FLOPs:           flops,
-		MFU:             metrics.MFU(flops, cfg.Plan.TotalGPUs(), spec.Cluster.GPU.PeakFLOPS, total),
-	}
-	return stats, nil
-}
-
-// Run executes n iterations and aggregates.
-func (r *Runtime) Run(n int) (*Result, error) {
-	if n <= 0 {
-		return nil, errors.New("trainer: need at least one iteration")
-	}
-	res := &Result{Strategy: r.cfg.Plan.Strategy, GPUs: r.cfg.Plan.TotalGPUs()}
-	var timeSum, flopSum float64
-	for i := 0; i < n; i++ {
-		st, err := r.RunIteration(i)
-		if err != nil {
-			return nil, err
-		}
-		res.Iterations = append(res.Iterations, st)
-		timeSum += st.Breakdown.Total()
-		flopSum += st.FLOPs
-	}
-	res.MeanIterTime = timeSum / float64(n)
-	res.MFU = metrics.MFU(flopSum, res.GPUs, r.cfg.Spec.Cluster.GPU.PeakFLOPS, timeSum)
-	res.TokensPerSec = metrics.Throughput(r.cfg.Spec.GlobalBatch, r.cfg.Spec.Model.SeqLen, res.MeanIterTime)
-	if r.ckpt != nil {
-		r.ckpt.Flush()
-		res.CheckpointsSaved = r.ckpt.Saved()
-	}
-	return res, nil
 }
 
 // gradSync returns the exposed gradient/parameter synchronisation time:

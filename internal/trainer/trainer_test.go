@@ -2,6 +2,8 @@ package trainer
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"disttrain/internal/cluster"
@@ -285,7 +287,8 @@ func TestRebalanceKeepsCounts(t *testing.T) {
 		append([]data.Sample(nil), batch[6:8]...),
 		append([]data.Sample(nil), batch[8:12]...),
 	}
-	out := rebalance(groups, 4)
+	size := func(s data.Sample) float64 { return float64(s.TotalImageTokens()) }
+	out := rebalance(groups, 4, size)
 	total := 0
 	for d, g := range out {
 		if len(g) != 4 {
@@ -295,5 +298,57 @@ func TestRebalanceKeepsCounts(t *testing.T) {
 	}
 	if total != 12 {
 		t.Errorf("samples lost: %d", total)
+	}
+}
+
+// TestRebalanceMovesSmallestFirstAndPreservesMultiset pins the
+// documented contract: surplus moves smallest-cost first, and the
+// multiset of samples is exactly preserved — rebalance only changes
+// ownership, never content.
+func TestRebalanceMovesSmallestFirstAndPreservesMultiset(t *testing.T) {
+	corpus, _ := data.NewCorpus(data.LAION400M())
+	batch := corpus.GlobalBatch(1, 12)
+	size := func(s data.Sample) float64 { return float64(s.TotalImageTokens()) }
+
+	count := func(groups [][]data.Sample) map[int64]int {
+		m := map[int64]int{}
+		for _, g := range groups {
+			for _, s := range g {
+				m[s.Index]++
+			}
+		}
+		return m
+	}
+
+	groups := [][]data.Sample{
+		append([]data.Sample(nil), batch[:7]...), // 3 surplus
+		append([]data.Sample(nil), batch[7:9]...),
+		append([]data.Sample(nil), batch[9:12]...),
+	}
+	before := count(groups)
+
+	// The three surplus samples, cheapest first — the order they must
+	// move in.
+	surplus := append([]data.Sample(nil), batch[4:7]...)
+	sort.SliceStable(surplus, func(a, b int) bool { return size(surplus[a]) < size(surplus[b]) })
+
+	out := rebalance(groups, 4, size)
+	if got := count(out); !reflect.DeepEqual(got, before) {
+		t.Errorf("rebalance changed the sample multiset:\nbefore %v\nafter  %v", before, got)
+	}
+	// Group 1 was 2 under quota: it must have received the two
+	// smallest surplus samples, in ascending cost order.
+	g1 := out[1]
+	if len(g1) != 4 {
+		t.Fatalf("group 1 has %d samples, want 4", len(g1))
+	}
+	if g1[2].Index != surplus[0].Index || g1[3].Index != surplus[1].Index {
+		t.Errorf("group 1 received %d,%d, want smallest-first %d,%d",
+			g1[2].Index, g1[3].Index, surplus[0].Index, surplus[1].Index)
+	}
+	// Group 2 was 1 under quota: it gets the remaining (largest)
+	// surplus sample.
+	if out[2][3].Index != surplus[2].Index {
+		t.Errorf("group 2 received %d, want %d", out[2][3].Index, surplus[2].Index)
 	}
 }
