@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci
+.PHONY: all build fmt vet test race bench fuzz ci
 
 all: build
 
@@ -33,4 +33,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build fmt vet test race bench
+# fuzz smoke: hammer the wire-protocol parser with generated frames for
+# a few seconds (the seeded corpus always runs in plain `make test`).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseBatch -fuzztime=5s ./internal/preprocess
+
+ci: build fmt vet test race bench fuzz

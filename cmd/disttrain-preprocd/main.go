@@ -3,9 +3,15 @@
 // samples on CPU, applies both reordering levels, and streams
 // training-ready microbatches to GPU consumers (§5.1).
 //
-// Example:
+// -addr accepts a comma-separated list to run a whole producer pool in
+// one process — each address gets its own independent (stateless)
+// server, the layout the consumer-side preprocess.Pool load-balances
+// and fails over across.
+//
+// Examples:
 //
 //	disttrain-preprocd -addr :7420 -batch 128 -dp 8 -reorder
+//	disttrain-preprocd -addr :7420,:7421,:7422 -batch 128 -dp 8
 package main
 
 import (
@@ -14,6 +20,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"disttrain/internal/data"
 	"disttrain/internal/preprocess"
@@ -21,13 +30,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7420", "listen address")
+		addrs     = flag.String("addr", "127.0.0.1:7420", "listen address, or comma-separated list for a pool")
 		batch     = flag.Int("batch", 128, "global batch size")
 		dp        = flag.Int("dp", 8, "data-parallel consumer count")
 		micro     = flag.Int("micro", 1, "microbatch size")
 		reorderOn = flag.Bool("reorder", true, "apply Algorithms 1 and 2")
 		stages    = flag.Int("stages", 4, "pipeline stages (for Algorithm 2's interval model)")
-		workers   = flag.Int("workers", 0, "preprocessing worker goroutines (0 = 2*dp)")
+		workers   = flag.Int("workers", 0, "preprocessing worker goroutines per producer (0 = 2*dp)")
 		readahead = flag.Int("readahead", 2, "iterations to prefetch")
 	)
 	flag.Parse()
@@ -36,7 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := preprocess.NewServer(preprocess.Config{
+	cfg := preprocess.Config{
 		Source:         corpus,
 		GlobalBatch:    *batch,
 		DPSize:         *dp,
@@ -45,27 +54,60 @@ func main() {
 		PipelineStages: *stages,
 		Workers:        *workers,
 		Readahead:      *readahead,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
+
+	var servers []*preprocess.Server
+	var listeners []net.Listener
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		srv, err := preprocess.NewServer(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fatal(err)
+		}
+		servers = append(servers, srv)
+		listeners = append(listeners, ln)
+		fmt.Printf("disttrain-preprocd: serving %d-sample batches to %d consumers on %s (reorder=%v)\n",
+			*batch, *dp, ln.Addr(), *reorderOn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Serve returns nil on clean shutdown; a real error is
+			// reported immediately — the pool keeps serving from its
+			// other members, but the operator must see the degradation.
+			if err := srv.Serve(ln); err != nil {
+				failed.Store(true)
+				fmt.Fprintf(os.Stderr, "disttrain-preprocd: producer on %s died: %v\n", ln.Addr(), err)
+			}
+		}()
 	}
-	fmt.Printf("disttrain-preprocd: serving %d-sample batches to %d consumers on %s (reorder=%v)\n",
-		*batch, *dp, ln.Addr(), *reorderOn)
+	if len(servers) == 0 {
+		fatal(fmt.Errorf("no listen addresses in %q", *addrs))
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt)
 	go func() {
 		<-done
 		fmt.Println("\ndisttrain-preprocd: shutting down")
-		ln.Close()
-		srv.Close()
+		// The server closes first so its Serve loop sees a clean
+		// shutdown (not an accept error) when the listener follows.
+		for i := range servers {
+			servers[i].Close()
+			listeners[i].Close()
+		}
 	}()
-	if err := srv.Serve(ln); err != nil {
-		fatal(err)
+	wg.Wait()
+	if failed.Load() {
+		os.Exit(1)
 	}
 }
 

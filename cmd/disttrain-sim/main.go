@@ -5,12 +5,20 @@
 // with checkpoint-restore recovery), and -trace captures the full
 // execution timeline in Chrome trace format.
 //
+// The batch front-end can source microbatches from a live TCP producer
+// pool: -preproc points at running disttrain-preprocd instances, and
+// -local-producers runs an in-process fleet — which scenario
+// producer-fail / producer-join events can kill and restore mid-run.
+//
 // Examples:
 //
 //	disttrain-sim -model 15b -nodes 12 -batch 64 -iters 5 -strategy disttrain
 //	disttrain-sim -iters 8 -checkpoint-every 2 \
 //	    -scenario 'straggler:iters=2-4,rank=0,factor=3; failure:iter=6' \
 //	    -trace timeline.json
+//	disttrain-sim -iters 6 -local-producers 3 \
+//	    -scenario 'producer-fail:iter=2,producer=1; producer-join:iter=4,producer=1'
+//	disttrain-sim -iters 6 -preproc 127.0.0.1:7420,127.0.0.1:7421
 package main
 
 import (
@@ -34,8 +42,10 @@ func main() {
 		colocate  = flag.Bool("colocate-preprocess", false, "co-locate preprocessing with training")
 		ckpt      = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = off)")
 		workers   = flag.Int("workers", 0, "per-DP-rank pipeline worker pool size (0 = GOMAXPROCS)")
-		scenSpec  = flag.String("scenario", "", "scenario injection, e.g. 'straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6' or 'random-stragglers:seed=7,ranks=8,prob=0.3,max=3'")
+		scenSpec  = flag.String("scenario", "", "scenario injection, e.g. 'straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6', 'producer-fail:iter=2,producer=1' or 'random-stragglers:seed=7,ranks=8,prob=0.3,max=3'")
 		traceFile = flag.String("trace", "", "write the run's Chrome-trace-format timeline to this file")
+		preproc   = flag.String("preproc", "", "comma-separated producer addresses: source microbatches from a live preprocessing pool")
+		localProd = flag.Int("local-producers", 0, "run N in-process preprocessing producers and source microbatches from them")
 	)
 	flag.Parse()
 
@@ -97,6 +107,50 @@ func main() {
 		cfg.Trace = trace
 	}
 
+	// Live disaggregated preprocessing: point the batch front-end at a
+	// producer pool — external (-preproc) or in-process
+	// (-local-producers, controllable by producer-fail/join events).
+	var poolStats *disttrain.PoolMetrics
+	if *preproc != "" || *localProd > 0 {
+		if *preproc != "" && *localProd > 0 {
+			fatal(fmt.Errorf("-preproc and -local-producers are mutually exclusive"))
+		}
+		if *colocate {
+			fatal(fmt.Errorf("-colocate-preprocess cannot be combined with a live producer pool"))
+		}
+		var addrs []string
+		if *localProd > 0 {
+			pcfg, err := disttrain.PreprocessConfigFor(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fleet, err := disttrain.StartProducerFleet(pcfg, *localProd)
+			if err != nil {
+				fatal(err)
+			}
+			defer fleet.Close()
+			cfg.ProducerControl = fleet
+			addrs = fleet.Addrs()
+			fmt.Printf("local producer fleet: %s\n", strings.Join(addrs, ", "))
+		} else {
+			for _, a := range strings.Split(*preproc, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		}
+		poolStats = &disttrain.PoolMetrics{}
+		pool, err := disttrain.NewPreprocessPool(disttrain.PreprocessPoolConfig{
+			Addrs: addrs,
+			Stats: poolStats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+		disttrain.UsePreprocessPool(&cfg, pool)
+	}
+
 	fmt.Println(plan)
 	res, err := disttrain.Train(cfg, *iters)
 	if err != nil {
@@ -125,6 +179,9 @@ func main() {
 			res.Failures, res.ReExecutedIterations, res.DowntimeSeconds)
 	}
 	fmt.Println()
+	if poolStats != nil {
+		fmt.Printf("producer pool: %s\n", poolStats.Snapshot())
+	}
 
 	if trace != nil {
 		f, err := os.Create(*traceFile)

@@ -38,6 +38,7 @@ import (
 	"disttrain/internal/metrics"
 	"disttrain/internal/model"
 	"disttrain/internal/orchestrator"
+	"disttrain/internal/preprocess"
 	"disttrain/internal/profiler"
 	"disttrain/internal/scenario"
 	"disttrain/internal/trainer"
@@ -90,6 +91,29 @@ type (
 	Trace = metrics.Trace
 	// ExperimentTable is one regenerated paper table/figure.
 	ExperimentTable = experiments.Table
+	// PreprocessConfig parameterises one disaggregated-preprocessing
+	// producer (batch geometry, reordering, worker pool, readahead).
+	PreprocessConfig = preprocess.Config
+	// PreprocessPool load-balances (iteration, rank) fetches across N
+	// producer servers with deterministic assignment, health tracking,
+	// failover and bounded admission.
+	PreprocessPool = preprocess.Pool
+	// PreprocessPoolConfig parameterises a PreprocessPool.
+	PreprocessPoolConfig = preprocess.PoolConfig
+	// ProducerFleet runs N in-process producers; it satisfies the
+	// trainer's ProducerControl, so scenario producer-fail /
+	// producer-join events kill and restore members mid-run.
+	ProducerFleet = preprocess.Fleet
+	// PoolMetrics collects pool fetch latency, failovers, rejections
+	// and cache hit rate; PoolSnapshot is its point-in-time copy.
+	PoolMetrics  = metrics.PoolStats
+	PoolSnapshot = metrics.PoolSnapshot
+	// BatchSource is the trainer's batch/assignment front-end seam; the
+	// synthetic corpus path and PoolSource both satisfy it.
+	BatchSource = trainer.BatchSource
+	// PoolSource sources the trainer's microbatches from a live
+	// producer pool over TCP.
+	PoolSource = trainer.PoolSource
 )
 
 // Model presets of the paper's evaluation (§7).
@@ -222,9 +246,56 @@ func TrainSequential(cfg TrainConfig, n int) (*TrainResult, error) {
 	return rt.RunSequential(n)
 }
 
+// PreprocessConfigFor derives the producer configuration matching a
+// training configuration: same corpus, batch geometry from the spec,
+// DP size and pipeline stage count from the plan, reordering as
+// configured. Producers built from it serve batches the trainer's
+// PoolSource can consume directly.
+func PreprocessConfigFor(cfg TrainConfig) (PreprocessConfig, error) {
+	if cfg.Plan == nil {
+		return PreprocessConfig{}, &UnplannedConfigError{}
+	}
+	lm := cfg.Plan.Modules[model.Backbone].Config
+	return PreprocessConfig{
+		Source:         cfg.Corpus,
+		GlobalBatch:    cfg.Spec.GlobalBatch,
+		DPSize:         lm.DP,
+		Microbatch:     cfg.Spec.Microbatch,
+		Reorder:        cfg.Reorder,
+		PipelineStages: 1 + lm.PP + 1,
+		Readahead:      1,
+	}, nil
+}
+
+// UnplannedConfigError reports a TrainConfig without a plan where one
+// is required.
+type UnplannedConfigError struct{}
+
+func (e *UnplannedConfigError) Error() string { return "disttrain: config has no plan" }
+
+// NewPreprocessPool builds a consumer-side producer pool.
+func NewPreprocessPool(cfg PreprocessPoolConfig) (*PreprocessPool, error) {
+	return preprocess.NewPool(cfg)
+}
+
+// StartProducerFleet launches n in-process preprocessing producers on
+// random loopback ports.
+func StartProducerFleet(cfg PreprocessConfig, n int) (*ProducerFleet, error) {
+	return preprocess.StartFleet(cfg, n)
+}
+
+// UsePreprocessPool points a training configuration's batch front-end
+// at a live producer pool: microbatches come over TCP with failover
+// instead of from the synthetic corpus path.
+func UsePreprocessPool(cfg *TrainConfig, pool *PreprocessPool) {
+	cfg.Source = &trainer.PoolSource{Pool: pool, Samples: cfg.Corpus}
+	cfg.DisaggregatedPreprocess = true
+}
+
 // ParseScenario builds a Scenario from the CLI grammar shared with the
 // -scenario flag: semicolon-separated `kind:key=value,...` events —
-// e.g. `straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6`, or the
+// e.g. `straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6`,
+// `producer-fail:iter=2,producer=1`, or the
 // seeded generator `random-stragglers:seed=7,ranks=8,prob=0.3,max=3`.
 func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
 

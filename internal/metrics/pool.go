@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PoolStats collects the consumer-side observables of an elastic
+// preprocessing producer pool: fetch latency, failovers away from the
+// deterministic primary, admission rejections, and the pool cache's
+// hit rate. All methods are safe for concurrent use; the pool records
+// from every in-flight fetch.
+type PoolStats struct {
+	fetches    atomic.Int64
+	failovers  atomic.Int64
+	rejections atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+
+	mu      sync.Mutex
+	latency Series
+}
+
+// RecordFetch records one successful fetch and its latency in seconds.
+func (p *PoolStats) RecordFetch(seconds float64) {
+	p.fetches.Add(1)
+	p.mu.Lock()
+	p.latency.Add(seconds)
+	p.mu.Unlock()
+}
+
+// RecordFailover records one fetch served by (or moved toward) a
+// producer other than its deterministic primary.
+func (p *PoolStats) RecordFailover() { p.failovers.Add(1) }
+
+// RecordRejection records one fetch rejected by bounded admission.
+func (p *PoolStats) RecordRejection() { p.rejections.Add(1) }
+
+// RecordCacheHit and RecordCacheMiss track the pool-side batch cache.
+func (p *PoolStats) RecordCacheHit()  { p.cacheHits.Add(1) }
+func (p *PoolStats) RecordCacheMiss() { p.cacheMiss.Add(1) }
+
+// PoolSnapshot is a point-in-time copy of the pool counters.
+type PoolSnapshot struct {
+	// Fetches counts successful fetches (cache hits included).
+	Fetches int64
+	// Failovers counts fetches that left their primary producer —
+	// because it was marked down or because an attempt on it failed.
+	Failovers int64
+	// Rejections counts fetches refused by bounded admission.
+	Rejections int64
+	// CacheHits / CacheMisses describe the pool-side batch cache;
+	// CacheHitRate is hits over lookups (0 when no lookups happened).
+	CacheHits    int64
+	CacheMisses  int64
+	CacheHitRate float64
+	// MeanFetchSeconds / MaxFetchSeconds / P99FetchSeconds summarise
+	// successful fetch latency.
+	MeanFetchSeconds float64
+	MaxFetchSeconds  float64
+	P99FetchSeconds  float64
+}
+
+// Snapshot returns the current counters.
+func (p *PoolStats) Snapshot() PoolSnapshot {
+	s := PoolSnapshot{
+		Fetches:     p.fetches.Load(),
+		Failovers:   p.failovers.Load(),
+		Rejections:  p.rejections.Load(),
+		CacheHits:   p.cacheHits.Load(),
+		CacheMisses: p.cacheMiss.Load(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	p.mu.Lock()
+	s.MeanFetchSeconds = p.latency.Mean()
+	s.MaxFetchSeconds = p.latency.Max()
+	s.P99FetchSeconds = p.latency.Percentile(99)
+	p.mu.Unlock()
+	return s
+}
+
+func (s PoolSnapshot) String() string {
+	return fmt.Sprintf("fetches %d (mean %.1fms, p99 %.1fms) | failovers %d | rejected %d | cache %.0f%% hit",
+		s.Fetches, s.MeanFetchSeconds*1e3, s.P99FetchSeconds*1e3,
+		s.Failovers, s.Rejections, 100*s.CacheHitRate)
+}

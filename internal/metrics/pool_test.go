@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPoolStatsSnapshot(t *testing.T) {
+	var s PoolStats
+	s.RecordFetch(0.010)
+	s.RecordFetch(0.030)
+	s.RecordFailover()
+	s.RecordRejection()
+	s.RecordCacheHit()
+	s.RecordCacheMiss()
+	s.RecordCacheMiss()
+	s.RecordCacheMiss()
+
+	snap := s.Snapshot()
+	if snap.Fetches != 2 || snap.Failovers != 1 || snap.Rejections != 1 {
+		t.Errorf("counters = %+v", snap)
+	}
+	if snap.CacheHits != 1 || snap.CacheMisses != 3 {
+		t.Errorf("cache counters = %+v", snap)
+	}
+	if snap.CacheHitRate != 0.25 {
+		t.Errorf("hit rate = %g, want 0.25", snap.CacheHitRate)
+	}
+	if snap.MeanFetchSeconds != 0.020 {
+		t.Errorf("mean latency = %g, want 0.020", snap.MeanFetchSeconds)
+	}
+	if snap.MaxFetchSeconds != 0.030 {
+		t.Errorf("max latency = %g, want 0.030", snap.MaxFetchSeconds)
+	}
+	if !strings.Contains(snap.String(), "failovers 1") {
+		t.Errorf("summary %q missing failovers", snap.String())
+	}
+}
+
+func TestPoolStatsZero(t *testing.T) {
+	var s PoolStats
+	snap := s.Snapshot()
+	if snap.CacheHitRate != 0 || snap.Fetches != 0 || snap.MeanFetchSeconds != 0 {
+		t.Errorf("zero stats = %+v", snap)
+	}
+}
+
+// The collector is recorded into from every in-flight fetch; the race
+// gate pins concurrent safety.
+func TestPoolStatsConcurrent(t *testing.T) {
+	var s PoolStats
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.RecordFetch(0.001)
+				s.RecordFailover()
+				s.RecordCacheMiss()
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().Fetches; got != 400 {
+		t.Errorf("fetches = %d, want 400", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -22,8 +23,13 @@ type Client struct {
 }
 
 // Dial connects to a producer.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout connects to a producer, bounding the connection attempt
+// (0 means the operating system default). The pool uses a short bound
+// so a dead producer fails over in milliseconds, not minutes.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: dial %s: %w", addr, err)
 	}
@@ -33,6 +39,15 @@ func Dial(addr string) (*Client, error) {
 		bw:      bufio.NewWriter(conn),
 		timeout: 120 * time.Second,
 	}, nil
+}
+
+// SetTimeout bounds one request round trip (default 120s).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.timeout = d
+	}
 }
 
 // Close tears down the connection.
@@ -81,6 +96,10 @@ type Prefetcher struct {
 	pending chan fetchResult
 	cancel  context.CancelFunc
 	done    chan struct{}
+	// terminal is the error that stopped the loop; published before
+	// pending closes, so Next re-delivers it forever once the queue
+	// drains instead of blocking on a channel nothing feeds.
+	terminal error
 }
 
 type fetchResult struct {
@@ -109,28 +128,46 @@ func NewPrefetcher(client *Client, rank int, startIter int64, depth int) *Prefet
 
 func (p *Prefetcher) loop(ctx context.Context) {
 	defer close(p.done)
+	// Closing pending after the terminal error is queued hands every
+	// subsequent Next the stored error (the close is the happens-before
+	// edge for p.terminal).
+	defer close(p.pending)
 	iter := p.next
 	for {
 		rb, err := p.client.Fetch(ctx, iter, p.rank)
+		if err != nil {
+			p.terminal = err
+			select {
+			case <-ctx.Done():
+			case p.pending <- fetchResult{nil, err}:
+			}
+			return
+		}
 		select {
 		case <-ctx.Done():
+			p.terminal = ctx.Err()
 			return
-		case p.pending <- fetchResult{rb, err}:
-		}
-		if err != nil {
-			return
+		case p.pending <- fetchResult{rb, nil}:
 		}
 		iter++
 	}
 }
 
 // Next returns the next iteration's batch, typically instantly because
-// the producer worked ahead.
+// the producer worked ahead. Once the prefetch loop has died — broken
+// producer, cancelled context — Next returns the terminal error on
+// every subsequent call rather than blocking forever.
 func (p *Prefetcher) Next(ctx context.Context) (*RankBatch, error) {
 	select {
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case r := <-p.pending:
+	case r, ok := <-p.pending:
+		if !ok {
+			if p.terminal != nil {
+				return nil, p.terminal
+			}
+			return nil, errors.New("preprocess: prefetcher closed")
+		}
 		return r.rb, r.err
 	}
 }

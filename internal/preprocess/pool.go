@@ -1,0 +1,367 @@
+package preprocess
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"disttrain/internal/metrics"
+)
+
+// Pool is the consumer side of an elastic producer fleet (§5, §8): it
+// load-balances (iteration, rank) fetches across N stateless producer
+// servers. Every fetch has a deterministic primary producer — a pure
+// function of (iteration, rank) — so a healthy fleet spreads load
+// evenly and two pools over the same fleet make identical choices.
+// When a producer dies the fetch fails over to the next healthy
+// member, the dead member sits out a cooldown, and the batch contents
+// are unchanged: producers are deterministic functions of the
+// iteration, which is exactly what makes preprocessing elastically
+// scalable.
+//
+// Admission is bounded: at most MaxInflight fetches run concurrently,
+// and a fetch that cannot get a slot within AdmitTimeout is rejected
+// with ErrPoolSaturated instead of queueing unboundedly — callers see
+// backpressure, not an unbounded readahead fan-out.
+type Pool struct {
+	cfg     PoolConfig
+	members []*poolMember
+	slots   chan struct{}
+	stats   *metrics.PoolStats
+
+	mu        sync.Mutex
+	cache     map[batchKey]*RankBatch
+	watermark map[int]int64 // rank -> highest fetched iteration
+	closed    bool
+}
+
+// PoolConfig parameterises a producer pool.
+type PoolConfig struct {
+	// Addrs lists the producer servers. Assignment and failover order
+	// are deterministic in this order.
+	Addrs []string
+	// MaxInflight bounds concurrently admitted fetches (default
+	// 2*len(Addrs)).
+	MaxInflight int
+	// AdmitTimeout is how long a fetch waits for an admission slot
+	// before being rejected with ErrPoolSaturated (default 5s).
+	AdmitTimeout time.Duration
+	// FailureCooldown is how long a failed producer sits out before the
+	// pool retries it (default 2s).
+	FailureCooldown time.Duration
+	// DialTimeout bounds one connection attempt (default 2s); a dead
+	// producer fails over in milliseconds instead of hanging a fetch.
+	DialTimeout time.Duration
+	// FetchTimeout bounds one request round trip (default 60s).
+	FetchTimeout time.Duration
+	// CacheCap bounds the pool-side batch cache in entries (default
+	// 256). The watermark eviction keeps what lagging ranks still
+	// need, but a rank that stops fetching freezes the floor; beyond
+	// CacheCap the oldest entries drop anyway — the same backstop the
+	// producer's cache carries.
+	CacheCap int
+	// Stats, when non-nil, receives fetch latency, failover, rejection
+	// and cache counters.
+	Stats *metrics.PoolStats
+}
+
+// ErrPoolSaturated reports a fetch rejected by bounded admission.
+var ErrPoolSaturated = errors.New("preprocess: pool saturated, fetch rejected")
+
+type batchKey struct {
+	iter int64
+	rank int
+}
+
+// poolMember is one producer plus its health state.
+type poolMember struct {
+	addr string
+
+	mu        sync.Mutex
+	client    *Client
+	downUntil time.Time
+	closed    bool
+}
+
+// NewPool builds a pool over the given producer addresses. Connections
+// are dialed lazily on first use, so producers may come up after the
+// pool.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("preprocess: pool needs at least one producer address")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * len(cfg.Addrs)
+	}
+	if cfg.AdmitTimeout <= 0 {
+		cfg.AdmitTimeout = 5 * time.Second
+	}
+	if cfg.FailureCooldown <= 0 {
+		cfg.FailureCooldown = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 60 * time.Second
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 256
+	}
+	p := &Pool{
+		cfg:       cfg,
+		slots:     make(chan struct{}, cfg.MaxInflight),
+		stats:     cfg.Stats,
+		cache:     map[batchKey]*RankBatch{},
+		watermark: map[int]int64{},
+	}
+	for _, addr := range cfg.Addrs {
+		p.members = append(p.members, &poolMember{addr: addr})
+	}
+	return p, nil
+}
+
+// Size returns the number of pool members.
+func (p *Pool) Size() int { return len(p.members) }
+
+// MaxInflight returns the admission bound; callers fanning out
+// concurrent fetches should not exceed it or they will see
+// ErrPoolSaturated under load.
+func (p *Pool) MaxInflight() int { return p.cfg.MaxInflight }
+
+// Snapshot returns the pool's metrics counters (zero when the pool was
+// built without a Stats collector).
+func (p *Pool) Snapshot() metrics.PoolSnapshot {
+	if p.stats == nil {
+		return metrics.PoolSnapshot{}
+	}
+	return p.stats.Snapshot()
+}
+
+// Close tears down every member connection. In-flight fetches may
+// finish with errors. The per-member closed flag is set under the same
+// lock fetch dials under, so a racing fetch either loses (sees closed,
+// never dials) or wins (its fresh connection is closed here) — no
+// connection leaks either way.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	for _, m := range p.members {
+		m.mu.Lock()
+		m.closed = true
+		if m.client != nil {
+			m.client.Close()
+			m.client = nil
+		}
+		m.mu.Unlock()
+	}
+}
+
+// primary returns the deterministic home producer of one (iteration,
+// rank) fetch. The multiplier decorrelates adjacent iterations so each
+// iteration's rank fan-out starts on a different member.
+func (p *Pool) primary(iter int64, rank int) int {
+	return int((uint64(iter)*1000003 + uint64(rank)) % uint64(len(p.members)))
+}
+
+// Fetch returns one (iteration, rank) batch, serving from the pool
+// cache when possible and failing over across producers otherwise.
+func (p *Pool) Fetch(ctx context.Context, iter int64, rank int) (*RankBatch, error) {
+	if err := p.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { <-p.slots }()
+
+	key := batchKey{iter, rank}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("preprocess: pool closed")
+	}
+	if rb, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		if p.stats != nil {
+			p.stats.RecordCacheHit()
+			p.stats.RecordFetch(0)
+		}
+		return rb, nil
+	}
+	p.mu.Unlock()
+	if p.stats != nil {
+		p.stats.RecordCacheMiss()
+	}
+
+	start := time.Now()
+	rb, err := p.fetchWithFailover(ctx, iter, rank)
+	if err != nil {
+		return nil, err
+	}
+	if p.stats != nil {
+		p.stats.RecordFetch(time.Since(start).Seconds())
+	}
+
+	p.mu.Lock()
+	p.cache[key] = rb
+	if w, ok := p.watermark[rank]; !ok || iter > w {
+		p.watermark[rank] = iter
+	}
+	p.evictLocked()
+	p.mu.Unlock()
+	return rb, nil
+}
+
+// admit takes one bounded-admission slot, rejecting with
+// ErrPoolSaturated after AdmitTimeout.
+func (p *Pool) admit(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(p.cfg.AdmitTimeout)
+	defer timer.Stop()
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		if p.stats != nil {
+			p.stats.RecordRejection()
+		}
+		return ErrPoolSaturated
+	}
+}
+
+// fetchWithFailover walks the failover ring starting at the fetch's
+// deterministic primary. Members inside their failure cooldown are
+// skipped (each skip is a failover) unless every member is down, in
+// which case all are retried — the path through which a recovered
+// fleet comes back without external coordination.
+func (p *Pool) fetchWithFailover(ctx context.Context, iter int64, rank int) (*RankBatch, error) {
+	n := len(p.members)
+	prim := p.primary(iter, rank)
+	now := time.Now()
+	allDown := true
+	for _, m := range p.members {
+		if m.available(now) {
+			allDown = false
+			break
+		}
+	}
+	var lastErr error
+	for k := 0; k < n; k++ {
+		m := p.members[(prim+k)%n]
+		if !allDown && !m.available(now) {
+			if p.stats != nil {
+				p.stats.RecordFailover()
+			}
+			continue
+		}
+		rb, err := m.fetch(ctx, p.cfg, iter, rank)
+		if err == nil {
+			return rb, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			// A protocol-level rejection is deterministic: every
+			// producer would answer the same, so failing over only
+			// multiplies the error.
+			return nil, err
+		}
+		lastErr = err
+		m.markDown(now.Add(p.cfg.FailureCooldown))
+		if p.stats != nil {
+			p.stats.RecordFailover()
+		}
+	}
+	return nil, fmt.Errorf("preprocess: all %d producers failed for iter %d rank %d: %w", n, iter, rank, lastErr)
+}
+
+// evictLocked drops cache entries below the minimum per-rank fetch
+// watermark — the same eviction contract as the producer's cache: an
+// iteration leaves the cache only once every rank the pool has seen
+// fetched past it. CacheCap backstops the size (oldest entries first)
+// so a rank that stops fetching cannot freeze the floor and grow the
+// cache without bound. Callers hold p.mu.
+func (p *Pool) evictLocked() {
+	if len(p.watermark) > 0 {
+		min := int64(0)
+		first := true
+		for _, w := range p.watermark {
+			if first || w < min {
+				min, first = w, false
+			}
+		}
+		for k := range p.cache {
+			if k.iter < min {
+				delete(p.cache, k)
+			}
+		}
+	}
+	for len(p.cache) > p.cfg.CacheCap {
+		var oldest batchKey
+		first := true
+		for k := range p.cache {
+			if first || k.iter < oldest.iter || (k.iter == oldest.iter && k.rank < oldest.rank) {
+				oldest, first = k, false
+			}
+		}
+		delete(p.cache, oldest)
+	}
+}
+
+// available reports whether the member is outside its failure cooldown.
+func (m *poolMember) available(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return now.After(m.downUntil)
+}
+
+// markDown opens the member's failure cooldown and drops its
+// connection so the next attempt re-dials.
+func (m *poolMember) markDown(until time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if until.After(m.downUntil) {
+		m.downUntil = until
+	}
+	if m.client != nil {
+		m.client.Close()
+		m.client = nil
+	}
+}
+
+// fetch runs one request against this member, dialing lazily. The
+// member lock serialises requests on the shared connection (the Client
+// serialises anyway; holding the lock keeps dial/teardown atomic with
+// the request).
+func (m *poolMember) fetch(ctx context.Context, cfg PoolConfig, iter int64, rank int) (*RankBatch, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("preprocess: pool closed")
+	}
+	if m.client == nil {
+		c, err := DialTimeout(m.addr, cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		c.SetTimeout(cfg.FetchTimeout)
+		m.client = c
+	}
+	rb, err := m.client.Fetch(ctx, iter, rank)
+	if err != nil {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			// Transport failure: the connection is suspect either way.
+			m.client.Close()
+			m.client = nil
+		}
+		return nil, err
+	}
+	return rb, nil
+}

@@ -1,0 +1,278 @@
+package preprocess
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"disttrain/internal/data"
+	"disttrain/internal/metrics"
+)
+
+func fleetConfig() Config {
+	return Config{
+		Source:      fixedSource{images: 1, resolution: 32, seqLen: 128},
+		GlobalBatch: 8, DPSize: 2, Microbatch: 1, Workers: 4,
+	}
+}
+
+func testPool(t *testing.T, fleet *Fleet, stats *metrics.PoolStats) *Pool {
+	t.Helper()
+	pool, err := NewPool(PoolConfig{
+		Addrs:           fleet.Addrs(),
+		FailureCooldown: 50 * time.Millisecond,
+		DialTimeout:     500 * time.Millisecond,
+		Stats:           stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+// A pool fetch must return exactly what a direct client fetch from any
+// single producer returns: producers are stateless deterministic
+// functions of the iteration, so routing cannot change the data.
+func TestPoolMatchesDirectFetch(t *testing.T) {
+	fleet, err := StartFleet(fleetConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	pool := testPool(t, fleet, nil)
+
+	client, err := Dial(fleet.Addrs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	for iter := int64(0); iter < 3; iter++ {
+		for rank := 0; rank < 2; rank++ {
+			got, err := pool.Fetch(ctx, iter, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := client.Fetch(ctx, iter, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Microbatches) != len(want.Microbatches) {
+				t.Fatalf("iter %d rank %d: %d microbatches, want %d",
+					iter, rank, len(got.Microbatches), len(want.Microbatches))
+			}
+			for j := range got.Microbatches {
+				for k := range got.Microbatches[j] {
+					g, w := got.Microbatches[j][k], want.Microbatches[j][k]
+					if g.SampleIndex != w.SampleIndex || !bytes.Equal(g.TokenPayload, w.TokenPayload) {
+						t.Fatalf("iter %d rank %d mb %d sample %d differs across routes", iter, rank, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Killing a producer mid-stream must not fail a single fetch: the pool
+// fails over to survivors, records the failovers, and picks the dead
+// member back up after it rejoins and its cooldown expires.
+func TestPoolFailoverAndRecovery(t *testing.T) {
+	fleet, err := StartFleet(fleetConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	stats := &metrics.PoolStats{}
+	pool := testPool(t, fleet, stats)
+
+	ctx := context.Background()
+	fetchAll := func(lo, hi int64) {
+		t.Helper()
+		for iter := lo; iter < hi; iter++ {
+			for rank := 0; rank < 2; rank++ {
+				if _, err := pool.Fetch(ctx, iter, rank); err != nil {
+					t.Fatalf("iter %d rank %d: %v", iter, rank, err)
+				}
+			}
+		}
+	}
+	fetchAll(0, 2)
+	if got := stats.Snapshot().Failovers; got != 0 {
+		t.Fatalf("healthy fleet recorded %d failovers", got)
+	}
+
+	if err := fleet.FailProducer(1); err != nil {
+		t.Fatal(err)
+	}
+	fetchAll(2, 6) // primaries rotate over all members, so some land on 1
+	snap := stats.Snapshot()
+	if snap.Failovers == 0 {
+		t.Fatal("no failovers recorded with a dead producer")
+	}
+
+	if err := fleet.JoinProducer(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // past the failure cooldown
+	fetchAll(6, 10)
+	after := stats.Snapshot()
+	if after.Fetches != 20 {
+		t.Fatalf("fetches = %d, want 20", after.Fetches)
+	}
+	// The rejoined member serves again: over iters 6..9 x 2 ranks, at
+	// least one primary lands on member 1, and those fetches must not
+	// add failovers once it is back.
+	if after.Failovers != snap.Failovers {
+		t.Errorf("failovers kept climbing after rejoin: %d -> %d", snap.Failovers, after.Failovers)
+	}
+}
+
+// Bounded admission: with every slot taken, a fetch is rejected with
+// ErrPoolSaturated instead of queueing unboundedly.
+func TestPoolBoundedAdmission(t *testing.T) {
+	cfg := fleetConfig()
+	cfg.Source = slowSource{fixedSource{images: 1, resolution: 32, seqLen: 128}, 300 * time.Millisecond}
+	fleet, err := StartFleet(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	stats := &metrics.PoolStats{}
+	pool, err := NewPool(PoolConfig{
+		Addrs:        fleet.Addrs(),
+		MaxInflight:  1,
+		AdmitTimeout: 30 * time.Millisecond,
+		Stats:        stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+
+	ctx := context.Background()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := pool.Fetch(ctx, 0, 0) // slow build holds the only slot
+		done <- err
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	if _, err := pool.Fetch(ctx, 0, 1); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("saturated pool returned %v, want ErrPoolSaturated", err)
+	}
+	if got := stats.Snapshot().Rejections; got != 1 {
+		t.Errorf("rejections = %d, want 1", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("admitted fetch failed: %v", err)
+	}
+}
+
+// slowSource delays every sample, making builds take visible time.
+type slowSource struct {
+	inner fixedSource
+	delay time.Duration
+}
+
+func (s slowSource) Sample(index int64) data.Sample {
+	time.Sleep(s.delay)
+	return s.inner.Sample(index)
+}
+
+// The pool cache serves repeated fetches (failure-recovery rewinds)
+// and evicts against the minimum per-rank watermark.
+func TestPoolCacheHitAndWatermarkEviction(t *testing.T) {
+	fleet, err := StartFleet(fleetConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	stats := &metrics.PoolStats{}
+	pool := testPool(t, fleet, stats)
+
+	ctx := context.Background()
+	if _, err := pool.Fetch(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fetch(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", snap.CacheHits, snap.CacheMisses)
+	}
+	if snap.CacheHitRate != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", snap.CacheHitRate)
+	}
+	// Advance rank 0's watermark: iterations below it leave the cache.
+	for iter := int64(1); iter < 4; iter++ {
+		if _, err := pool.Fetch(ctx, iter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Fetch(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Snapshot().CacheMisses; got != snap.CacheMisses+4 {
+		t.Errorf("evicted iteration 0 should re-fetch as a miss: misses = %d, want %d",
+			got, snap.CacheMisses+4)
+	}
+}
+
+// CacheCap backstops the pool cache: a rank that stops fetching
+// freezes the watermark floor, but the cache still stays bounded.
+func TestPoolCacheCapBoundsStalledRank(t *testing.T) {
+	fleet, err := StartFleet(fleetConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	pool, err := NewPool(PoolConfig{Addrs: fleet.Addrs(), CacheCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+
+	ctx := context.Background()
+	if _, err := pool.Fetch(ctx, 0, 1); err != nil { // rank 1 stalls at 0
+		t.Fatal(err)
+	}
+	for iter := int64(0); iter < 10; iter++ {
+		if _, err := pool.Fetch(ctx, iter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.mu.Lock()
+	n := len(pool.cache)
+	pool.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("pool cache grew to %d entries with CacheCap 4", n)
+	}
+}
+
+// A protocol-level server rejection is deterministic, so the pool must
+// not fail over on it — every producer would answer the same.
+func TestPoolServerErrorDoesNotFailOver(t *testing.T) {
+	fleet, err := StartFleet(fleetConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	stats := &metrics.PoolStats{}
+	pool := testPool(t, fleet, stats)
+
+	_, err = pool.Fetch(context.Background(), 0, 99)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("bad rank returned %v, want ServerError", err)
+	}
+	if got := stats.Snapshot().Failovers; got != 0 {
+		t.Errorf("server error triggered %d failovers", got)
+	}
+}

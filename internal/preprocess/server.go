@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"disttrain/internal/data"
 	"disttrain/internal/reorder"
@@ -51,6 +53,14 @@ type Config struct {
 	// Readahead prefetches this many future iterations after each
 	// fetch, so consumers find their next batch already materialised.
 	Readahead int
+	// CacheCap bounds the iteration cache (default 64 iterations). The
+	// watermark eviction keeps everything a lagging rank still needs,
+	// but a dead consumer's watermark freezes forever; beyond CacheCap
+	// iterations the oldest entries are dropped anyway, so a stalled
+	// rank costs a bounded cache, never unbounded growth. A laggard
+	// farther behind than CacheCap rebuilds on return — a cost event,
+	// not a correctness one.
+	CacheCap int
 }
 
 // Validate checks the configuration.
@@ -68,6 +78,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// errServerClosed marks fetches refused because the server is shutting
+// down — a transport-level condition, never sent as an opError frame.
+var errServerClosed = errors.New("preprocess: server closed")
+
 // RankBatch is one rank's iteration worth of preprocessed microbatches.
 type RankBatch struct {
 	Iter         int64
@@ -83,10 +97,19 @@ type Server struct {
 	mu       sync.Mutex
 	cache    map[int64][][]Processed // iter -> [rank][mb*... flattened per rank]
 	inflight map[int64]chan struct{}
+	// watermark tracks each rank's highest fetched iteration; the cache
+	// evicts only below the minimum across ranks, so a lagging consumer
+	// never has its batch evicted and rebuilt under it.
+	watermark map[int]int64
+	conns     map[net.Conn]struct{}
 
 	closed chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
+
+	// builds counts iteration materialisations — the cache-behaviour
+	// observable the eviction tests pin.
+	builds atomic.Int64
 }
 
 // NewServer validates the config and builds a producer.
@@ -100,19 +123,48 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Readahead < 0 {
 		cfg.Readahead = 0
 	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 64
+	}
 	return &Server{
-		cfg:      cfg,
-		cache:    map[int64][][]Processed{},
-		inflight: map[int64]chan struct{}{},
-		closed:   make(chan struct{}),
+		cfg:       cfg,
+		cache:     map[int64][][]Processed{},
+		inflight:  map[int64]chan struct{}{},
+		watermark: map[int]int64{},
+		conns:     map[net.Conn]struct{}{},
+		closed:    make(chan struct{}),
 	}, nil
 }
 
-// Close stops background work; active connections finish their current
-// request.
+// Close stops the server: no new work starts, active connections are
+// torn down, and Close blocks until every tracked goroutine (handlers
+// and readahead builds) has finished.
 func (s *Server) Close() {
-	s.once.Do(func() { close(s.closed) })
+	s.once.Do(func() {
+		s.mu.Lock()
+		close(s.closed)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
 	s.wg.Wait()
+}
+
+// begin registers one unit of background work with the server's
+// WaitGroup, refusing once the server is closed. The closed check and
+// the Add share the mutex Close closes the channel under, so no work
+// can slip in after Close has begun waiting.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+		s.wg.Add(1)
+		return true
+	}
 }
 
 // Serve accepts connections until the listener closes.
@@ -127,7 +179,10 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
-		s.wg.Add(1)
+		if !s.begin() {
+			conn.Close()
+			return nil
+		}
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -136,10 +191,23 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
 		body, err := readFrame(br)
 		if err != nil {
 			return // EOF or broken peer: drop the connection
@@ -157,6 +225,14 @@ func (s *Server) handle(conn net.Conn) {
 			rank := int(binary.BigEndian.Uint32(body[9:13]))
 			rb, err := s.Fetch(iter, rank)
 			if err != nil {
+				// Shutdown is a transport event, not a protocol answer:
+				// dropping the connection makes the client's pool fail
+				// over, whereas an opError frame would be classified as
+				// a deterministic ServerError and returned to the
+				// caller unretried.
+				if errors.Is(err, errServerClosed) {
+					return
+				}
 				writeError(bw, err.Error())
 				bw.Flush()
 				continue
@@ -181,14 +257,32 @@ func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
 	if rank < 0 || rank >= s.cfg.DPSize {
 		return nil, fmt.Errorf("preprocess: rank %d outside DP size %d", rank, s.cfg.DPSize)
 	}
+	select {
+	case <-s.closed:
+		return nil, errServerClosed
+	default:
+	}
+	s.mu.Lock()
+	if w, ok := s.watermark[rank]; !ok || iter > w {
+		s.watermark[rank] = iter
+		s.evictLocked()
+	}
+	s.mu.Unlock()
 	perRank, err := s.iteration(iter)
 	if err != nil {
 		return nil, err
 	}
-	// Asynchronous readahead: the producer works ahead of training.
+	// Asynchronous readahead: the producer works ahead of training. Each
+	// warmup goroutine is registered with the server's WaitGroup and
+	// re-checks closed before building, so Close never returns while a
+	// build is still touching the Source.
 	for ahead := int64(1); ahead <= int64(s.cfg.Readahead); ahead++ {
 		it := iter + ahead
+		if !s.begin() {
+			break
+		}
 		go func() {
+			defer s.wg.Done()
 			select {
 			case <-s.closed:
 			default:
@@ -233,22 +327,52 @@ func (s *Server) iteration(iter int64) ([][]Processed, error) {
 	delete(s.inflight, iter)
 	if err == nil {
 		s.cache[iter] = out
-		// Bound the cache: drop iterations older than the readahead
-		// window.
-		for k := range s.cache {
-			if k < iter-int64(s.cfg.Readahead)-2 {
-				delete(s.cache, k)
-			}
-		}
+		s.evictLocked()
 	}
 	s.mu.Unlock()
 	close(done)
 	return out, err
 }
 
+// evictLocked bounds the cache against the minimum per-rank fetch
+// watermark: an iteration is dropped only once every rank has fetched
+// past it. Evicting relative to the newest build instead would rebuild
+// a lagging rank's batch on every fetch. Until all DPSize ranks have
+// fetched at least once there is no safe floor from the watermarks.
+// Either way CacheCap backstops the cache size — oldest iterations
+// drop first — so a dead or never-connecting rank cannot grow the
+// cache without bound. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	if len(s.watermark) == s.cfg.DPSize {
+		min := int64(0)
+		first := true
+		for _, w := range s.watermark {
+			if first || w < min {
+				min, first = w, false
+			}
+		}
+		for k := range s.cache {
+			if k < min {
+				delete(s.cache, k)
+			}
+		}
+	}
+	for len(s.cache) > s.cfg.CacheCap {
+		oldest := int64(0)
+		first := true
+		for k := range s.cache {
+			if first || k < oldest {
+				oldest, first = k, false
+			}
+		}
+		delete(s.cache, oldest)
+	}
+}
+
 // build preprocesses one full iteration: fetch raw samples, run the
 // pixel pipeline on the worker pool, then apply both reordering levels.
 func (s *Server) build(iter int64) ([][]Processed, error) {
+	s.builds.Add(1)
 	bs := s.cfg.GlobalBatch
 	raw := make([]data.Sample, bs)
 	for i := range raw {
@@ -284,8 +408,7 @@ func (s *Server) build(iter int64) ([][]Processed, error) {
 	}
 	// Algorithm 1 across ranks, with the modality token count as the
 	// heterogeneous-cost proxy.
-	size := func(p Processed) float64 { return float64(p.ImageTokens) + 64*float64(p.GenImages) }
-	_, groups, err := reorder.IntraReorder(processed, size, s.cfg.DPSize)
+	_, groups, err := reorder.IntraReorder(processed, modalitySize, s.cfg.DPSize)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +447,18 @@ func (s *Server) build(iter int64) ([][]Processed, error) {
 	return out, nil
 }
 
-// rebalanceProcessed equalises group cardinalities after LPT.
+// modalitySize is the heterogeneous-cost proxy of a processed sample:
+// modality tokens plus a fixed charge per generated image. Algorithm
+// 1's partition and the rebalance below both order by it.
+func modalitySize(p Processed) float64 {
+	return float64(p.ImageTokens) + 64*float64(p.GenImages)
+}
+
+// rebalanceProcessed equalises group cardinalities after LPT, moving
+// surplus samples smallest-cost first — the same contract the
+// trainer's rebalance pins: moving the cheapest samples does the least
+// damage to the partition balance. The multiset of samples is
+// preserved; only ownership moves.
 func rebalanceProcessed(groups [][]Processed, perRank int) [][]Processed {
 	var surplus []Processed
 	for d := range groups {
@@ -333,10 +467,15 @@ func rebalanceProcessed(groups [][]Processed, perRank int) [][]Processed {
 			groups[d] = groups[d][:perRank]
 		}
 	}
+	// Smallest first; stable so ties keep the deterministic group
+	// emission order.
+	sort.SliceStable(surplus, func(a, b int) bool {
+		return modalitySize(surplus[a]) < modalitySize(surplus[b])
+	})
 	for d := range groups {
 		for len(groups[d]) < perRank && len(surplus) > 0 {
-			groups[d] = append(groups[d], surplus[len(surplus)-1])
-			surplus = surplus[:len(surplus)-1]
+			groups[d] = append(groups[d], surplus[0])
+			surplus = surplus[1:]
 		}
 	}
 	return groups
@@ -404,10 +543,21 @@ func writeBatch(w *bufio.Writer, rb *RankBatch) error {
 	return writeFrame(w, body)
 }
 
+// ServerError is a protocol-level error frame sent by a producer — a
+// deterministic rejection (bad rank, failed build), not a transport
+// failure, so pool clients must not fail over on it.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "preprocess: server error: " + e.Msg }
+
+// sampleHeaderLen is the fixed wire size of one sample's metadata:
+// index (8) + image/text/gen token counts (4 each) + payload length (4).
+const sampleHeaderLen = 8 + 4 + 4 + 4 + 4
+
 func parseBatch(body []byte) (*RankBatch, error) {
 	if len(body) < 1+8+4+4 || body[0] != opBatch {
 		if len(body) > 0 && body[0] == opError {
-			return nil, fmt.Errorf("preprocess: server error: %s", body[1:])
+			return nil, &ServerError{Msg: string(body[1:])}
 		}
 		return nil, errors.New("preprocess: malformed batch frame")
 	}
@@ -415,15 +565,26 @@ func parseBatch(body []byte) (*RankBatch, error) {
 	u64 := func() uint64 { v := binary.BigEndian.Uint64(body[off:]); off += 8; return v }
 	u32 := func() uint32 { v := binary.BigEndian.Uint32(body[off:]); off += 4; return v }
 	rb := &RankBatch{Iter: int64(u64()), Rank: int(u32())}
+	// Wire-supplied counts are untrusted: every count is bounds-checked
+	// against the bytes actually remaining in the frame before it sizes
+	// an allocation, so a corrupt or adversarial frame cannot drive
+	// multi-gigabyte makes.
 	mbCount := int(u32())
+	if mbCount < 0 || mbCount > (len(body)-off)/4 {
+		return nil, fmt.Errorf("preprocess: implausible microbatch count %d in %d-byte frame", mbCount, len(body))
+	}
+	rb.Microbatches = make([][]Processed, 0, mbCount)
 	for j := 0; j < mbCount; j++ {
 		if off+4 > len(body) {
 			return nil, errors.New("preprocess: truncated batch frame")
 		}
 		n := int(u32())
+		if n < 0 || n > (len(body)-off)/sampleHeaderLen {
+			return nil, fmt.Errorf("preprocess: implausible sample count %d in %d-byte frame", n, len(body))
+		}
 		mb := make([]Processed, 0, n)
 		for i := 0; i < n; i++ {
-			if off+24 > len(body) {
+			if off+sampleHeaderLen > len(body) {
 				return nil, errors.New("preprocess: truncated sample header")
 			}
 			var p Processed
@@ -432,7 +593,7 @@ func parseBatch(body []byte) (*RankBatch, error) {
 			p.TextTokens = int32(u32())
 			p.GenImages = int32(u32())
 			plen := int(u32())
-			if off+plen > len(body) {
+			if plen < 0 || plen > len(body)-off {
 				return nil, errors.New("preprocess: truncated payload")
 			}
 			p.TokenPayload = append([]byte(nil), body[off:off+plen]...)

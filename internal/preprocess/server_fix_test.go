@@ -1,0 +1,205 @@
+package preprocess
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Close must wait for readahead builds: the readahead goroutines are
+// registered with the server WaitGroup and re-check closed before
+// building, so no build touches the Source after Close returns.
+func TestCloseWaitsForReadahead(t *testing.T) {
+	cfg := Config{
+		Source:      slowSource{fixedSource{images: 1, resolution: 32, seqLen: 128}, 2 * time.Millisecond},
+		GlobalBatch: 4, DPSize: 1, Microbatch: 1, Workers: 2, Readahead: 3,
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Fetch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	after := srv.builds.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := srv.builds.Load(); got != after {
+		t.Fatalf("builds kept running after Close: %d -> %d", after, got)
+	}
+	// A closed server refuses new work with the shutdown sentinel — a
+	// transport-level condition the handler must never answer as an
+	// opError frame (the pool would refuse to fail over on it).
+	if _, err := srv.Fetch(1, 0); !errors.Is(err, errServerClosed) {
+		t.Errorf("closed server returned %v, want errServerClosed", err)
+	}
+	if srv.begin() {
+		t.Error("closed server admitted background work")
+	}
+}
+
+// The cache evicts against the minimum per-rank fetch watermark: a
+// rank lagging far behind the newest build keeps its batch cached
+// instead of having it evicted and rebuilt on every fetch.
+func TestEvictionHonoursLaggingRank(t *testing.T) {
+	cfg := Config{
+		Source:      fixedSource{images: 1, resolution: 32, seqLen: 128},
+		GlobalBatch: 4, DPSize: 2, Microbatch: 1, Workers: 2,
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Both ranks fetch iteration 0, then rank 0 races far ahead of the
+	// old Readahead+2 eviction horizon.
+	for rank := 0; rank < 2; rank++ {
+		if _, err := srv.Fetch(0, rank); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for iter := int64(1); iter <= 10; iter++ {
+		if _, err := srv.Fetch(iter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	builds := srv.builds.Load()
+	// Rank 1 is 10 iterations behind: its next batches must all be
+	// cache hits, not rebuilds.
+	for iter := int64(1); iter <= 10; iter++ {
+		if _, err := srv.Fetch(iter, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.builds.Load(); got != builds {
+		t.Fatalf("lagging rank forced %d rebuilds", got-builds)
+	}
+	// Once every rank passed an iteration, it leaves the cache.
+	srv.mu.Lock()
+	var cached []int64
+	for k := range srv.cache {
+		cached = append(cached, k)
+	}
+	srv.mu.Unlock()
+	sort.Slice(cached, func(a, b int) bool { return cached[a] < cached[b] })
+	if len(cached) == 0 || cached[0] < 10 {
+		t.Errorf("cache retains iterations below the min watermark: %v", cached)
+	}
+}
+
+// CacheCap backstops the watermark eviction: a rank that never fetches
+// (a dead consumer) freezes the watermark floor, but the cache still
+// stays bounded — the oldest iterations drop first.
+func TestCacheCapBoundsDeadRank(t *testing.T) {
+	cfg := Config{
+		Source:      fixedSource{images: 1, resolution: 32, seqLen: 128},
+		GlobalBatch: 4, DPSize: 2, Microbatch: 1, Workers: 2, CacheCap: 4,
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for iter := int64(0); iter < 20; iter++ {
+		if _, err := srv.Fetch(iter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Lock()
+	n := len(srv.cache)
+	_, newestCached := srv.cache[19]
+	srv.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache grew to %d iterations with CacheCap 4", n)
+	}
+	if !newestCached {
+		t.Error("cap evicted the newest iteration instead of the oldest")
+	}
+}
+
+// Once the prefetch loop dies, Next must re-deliver the terminal error
+// on every call instead of blocking on a channel nothing feeds.
+func TestPrefetcherRedeliversTerminalError(t *testing.T) {
+	cfg := Config{
+		Source:      fixedSource{images: 1, resolution: 32, seqLen: 128},
+		GlobalBatch: 4, DPSize: 2, Microbatch: 1, Workers: 2,
+	}
+	_, addr := startServer(t, cfg)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Rank 99 is out of range: the first fetch fails terminally.
+	pf := NewPrefetcher(client, 99, 0, 2)
+	defer pf.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	first := func() error { _, err := pf.Next(ctx); return err }
+	if err := first(); err == nil {
+		t.Fatal("bad rank prefetch succeeded")
+	}
+	// The queue is drained now; every further Next must return the same
+	// terminal error immediately, not block until the context dies.
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := pf.Next(ctx); err == nil || errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("call %d: got %v, want re-delivered terminal error", i, err)
+		}
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("drained prefetcher blocked for %v", d)
+	}
+}
+
+// rebalanceProcessed moves surplus smallest-cost first and preserves
+// the sample multiset — the contract pinned for the trainer in PR 2.
+func TestRebalanceProcessedSmallestFirstAndPreservesMultiset(t *testing.T) {
+	mk := func(idx int64, imageTokens int32) Processed {
+		return Processed{SampleIndex: idx, ImageTokens: imageTokens}
+	}
+	// Group 0's surplus holds the cheapest sample first, so the old
+	// tail-first movement would hand group 1 the most expensive one.
+	groups := [][]Processed{
+		{mk(0, 10), mk(1, 10), mk(2, 100), mk(3, 900)},
+		{mk(4, 10)},
+		{mk(5, 10)},
+	}
+	count := func(groups [][]Processed) map[int64]int {
+		m := map[int64]int{}
+		for _, g := range groups {
+			for _, p := range g {
+				m[p.SampleIndex]++
+			}
+		}
+		return m
+	}
+	before := count(groups)
+
+	out := rebalanceProcessed(groups, 2)
+	for d, g := range out {
+		if len(g) != 2 {
+			t.Fatalf("group %d has %d samples, want 2", d, len(g))
+		}
+	}
+	after := count(out)
+	for idx, n := range before {
+		if after[idx] != n {
+			t.Fatalf("sample %d count changed: %d -> %d", idx, n, after[idx])
+		}
+	}
+	// Group 1 was 1 short: it must receive the cheapest surplus sample
+	// (index 2, cost 100), not the tail (index 3, cost 900).
+	if got := out[1][1].SampleIndex; got != 2 {
+		t.Errorf("group 1 received sample %d, want smallest-first sample 2", got)
+	}
+	// Group 2 takes the remaining (expensive) one.
+	if got := out[2][1].SampleIndex; got != 3 {
+		t.Errorf("group 2 received sample %d, want 3", got)
+	}
+}

@@ -1,0 +1,138 @@
+package preprocess
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// encodeBatch serialises a RankBatch body (no frame length prefix) the
+// way writeBatch puts it on the wire.
+func encodeBatch(t testing.TB, rb *RankBatch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := newTestWriter(&buf)
+	if err := writeBatch(bw, rb); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	return buf.Bytes()[4:]
+}
+
+// Property: encode/parse round-trips arbitrary multi-microbatch
+// batches exactly.
+func TestWireRoundTripMultiMicrobatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		rb := &RankBatch{Iter: rng.Int63n(1 << 40), Rank: rng.Intn(64)}
+		for j := 0; j < rng.Intn(4); j++ {
+			var mb []Processed
+			for i := 0; i < rng.Intn(4); i++ {
+				payload := make([]byte, rng.Intn(64))
+				rng.Read(payload)
+				mb = append(mb, Processed{
+					SampleIndex:  rng.Int63(),
+					ImageTokens:  int32(rng.Intn(1 << 16)),
+					TextTokens:   int32(rng.Intn(1 << 16)),
+					GenImages:    int32(rng.Intn(4)),
+					TokenPayload: payload,
+				})
+			}
+			rb.Microbatches = append(rb.Microbatches, mb)
+		}
+		got, err := parseBatch(encodeBatch(t, rb))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Iter != rb.Iter || got.Rank != rb.Rank || len(got.Microbatches) != len(rb.Microbatches) {
+			t.Fatalf("trial %d: batch identity mangled", trial)
+		}
+		for j := range rb.Microbatches {
+			for i := range rb.Microbatches[j] {
+				w, g := rb.Microbatches[j][i], got.Microbatches[j][i]
+				if w.SampleIndex != g.SampleIndex || w.ImageTokens != g.ImageTokens ||
+					w.TextTokens != g.TextTokens || w.GenImages != g.GenImages ||
+					!bytes.Equal(w.TokenPayload, g.TokenPayload) {
+					t.Fatalf("trial %d mb %d sample %d mangled", trial, j, i)
+				}
+			}
+		}
+	}
+}
+
+// A frame may claim any counts it likes; the parser must reject
+// implausible ones before they size allocations.
+func TestParseBatchRejectsAdversarialCounts(t *testing.T) {
+	valid := encodeBatch(t, &RankBatch{Iter: 1, Rank: 0, Microbatches: [][]Processed{
+		{{SampleIndex: 9, TokenPayload: []byte("abcd")}},
+	}})
+	cases := map[string]func([]byte){
+		"huge microbatch count": func(b []byte) { binary.BigEndian.PutUint32(b[13:], 1<<30) },
+		"huge sample count":     func(b []byte) { binary.BigEndian.PutUint32(b[17:], 1<<30) },
+		"huge payload length":   func(b []byte) { binary.BigEndian.PutUint32(b[41:], 1<<29) },
+	}
+	for name, corrupt := range cases {
+		body := append([]byte(nil), valid...)
+		corrupt(body)
+		if _, err := parseBatch(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Truncations at every boundary parse as errors, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := parseBatch(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// FuzzParseBatch drives the parser over adversarial frames: it must
+// never panic or over-allocate, and whatever parses must re-encode and
+// re-parse to the identical batch (trailing garbage excepted — the
+// parser ignores bytes past the declared counts).
+func FuzzParseBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{opError, 'x'})
+	valid := encodeBatch(f, &RankBatch{Iter: 7, Rank: 3, Microbatches: [][]Processed{
+		{{SampleIndex: 1, ImageTokens: 2, TextTokens: 3, GenImages: 1, TokenPayload: []byte{1, 2, 3}}},
+		{{SampleIndex: 4, TokenPayload: nil}},
+	}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	huge := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(huge[13:], 0xfffffff0)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rb, err := parseBatch(body)
+		if err != nil {
+			return
+		}
+		reparsed, err := parseBatch(encodeBatch(t, rb))
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(rb), normalize(reparsed)) {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", rb, reparsed)
+		}
+	})
+}
+
+// normalize maps nil and empty payload slices to one form so
+// DeepEqual compares content, not allocation accidents.
+func normalize(rb *RankBatch) *RankBatch {
+	out := &RankBatch{Iter: rb.Iter, Rank: rb.Rank}
+	for _, mb := range rb.Microbatches {
+		var nmb []Processed
+		for _, p := range mb {
+			if len(p.TokenPayload) == 0 {
+				p.TokenPayload = nil
+			}
+			nmb = append(nmb, p)
+		}
+		out.Microbatches = append(out.Microbatches, nmb)
+	}
+	return out
+}

@@ -13,13 +13,16 @@ import (
 //	preprocess:iters=2-4,factor=4
 //	congestion:iters=1-3,factor=3
 //	failure:iter=5,downtime=30
+//	producer-fail:iter=2,producer=1
+//	producer-join:iter=4,producer=1
 //	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
 //
 // Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
 // `iter=N` is shorthand for a single iteration. `rank`/`stage` default
 // to -1 (all); `factor` defaults to 2; failure `downtime` defaults to
-// 30 simulated seconds. `random-stragglers` must be the only event in
-// its spec — it is a generator, not a timed event.
+// 30 simulated seconds; `producer` defaults to 0. `random-stragglers`
+// must be the only event in its spec — it is a generator, not a timed
+// event.
 func Parse(spec string) (Scenario, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -84,6 +87,10 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 	case "failure":
 		e.Kind = NodeFailure
 		e.Downtime = 30
+	case "producer-fail":
+		e.Kind = ProducerFail
+	case "producer-join":
+		e.Kind = ProducerJoin
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)
 	}
@@ -117,6 +124,11 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 			e.Until, err = strconv.ParseFloat(v, 64)
 		case "downtime":
 			e.Downtime, err = strconv.ParseFloat(v, 64)
+		case "producer":
+			if e.Kind != ProducerFail && e.Kind != ProducerJoin {
+				return Event{}, fmt.Errorf("producer only applies to producer-fail/producer-join, not %s", kind)
+			}
+			e.Producer, err = strconv.Atoi(v)
 		default:
 			return Event{}, fmt.Errorf("unknown key %q for %s", k, kind)
 		}

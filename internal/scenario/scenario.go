@@ -39,6 +39,15 @@ const (
 	// runtime pays Downtime seconds of detection/restart, restores the
 	// latest DFS checkpoint, and re-executes the lost iterations.
 	NodeFailure
+	// ProducerFail kills one disaggregated-preprocessing producer at
+	// iteration Start: subsequent fetches assigned to it fail over to
+	// the surviving pool members (§5's elasticity under churn). Fires
+	// once, like NodeFailure.
+	ProducerFail
+	// ProducerJoin restores (or brings up) producer Producer at
+	// iteration Start — the elastic scale-up counterpart of
+	// ProducerFail. Fires once.
+	ProducerJoin
 )
 
 func (k Kind) String() string {
@@ -51,8 +60,18 @@ func (k Kind) String() string {
 		return "congestion"
 	case NodeFailure:
 		return "failure"
+	case ProducerFail:
+		return "producer-fail"
+	case ProducerJoin:
+		return "producer-join"
 	}
 	return fmt.Sprintf("scenario.Kind(%d)", int(k))
+}
+
+// fireOnce reports whether the kind fires exactly once, at Start,
+// rather than covering an iteration window.
+func (k Kind) fireOnce() bool {
+	return k == NodeFailure || k == ProducerFail || k == ProducerJoin
 }
 
 // Event is one timed perturbation. Iteration windows are half-open:
@@ -76,17 +95,20 @@ type Event struct {
 	// Downtime is NodeFailure's detection + restart cost in simulated
 	// seconds, paid before the checkpoint restore read.
 	Downtime float64
+	// Producer is the pool-member index a ProducerFail / ProducerJoin
+	// event targets.
+	Producer int
 }
 
 // Validate checks one event.
 func (e Event) Validate() error {
-	if e.Kind < Straggler || e.Kind > NodeFailure {
+	if e.Kind < Straggler || e.Kind > ProducerJoin {
 		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
 	}
 	if e.Start < 0 {
 		return fmt.Errorf("scenario: %s start %d negative", e.Kind, e.Start)
 	}
-	if e.Kind != NodeFailure {
+	if !e.Kind.fireOnce() {
 		if e.End <= e.Start {
 			return fmt.Errorf("scenario: %s window [%d,%d) empty", e.Kind, e.Start, e.End)
 		}
@@ -103,12 +125,15 @@ func (e Event) Validate() error {
 	if e.Downtime < 0 {
 		return fmt.Errorf("scenario: %s downtime %g negative", e.Kind, e.Downtime)
 	}
+	if (e.Kind == ProducerFail || e.Kind == ProducerJoin) && e.Producer < 0 {
+		return fmt.Errorf("scenario: %s producer %d negative", e.Kind, e.Producer)
+	}
 	return nil
 }
 
 // covers reports whether the event affects iteration i.
 func (e Event) covers(i int) bool {
-	if e.Kind == NodeFailure {
+	if e.Kind.fireOnce() {
 		return i == e.Start
 	}
 	return e.Start <= i && i < e.End
@@ -207,8 +232,33 @@ func At(s Scenario, iter int) Perturbation {
 	return Perturbation{events: s.EventsAt(iter)}
 }
 
-// Steady reports whether the iteration is unperturbed.
-func (p Perturbation) Steady() bool { return len(p.events) == 0 }
+// Steady reports whether the iteration's cost model is unperturbed.
+// Pool-membership events (producer-fail / producer-join) do not count:
+// they change which producers serve fetches, not what any iteration
+// costs — with a healthy pool the run's results are identical, which
+// is the elasticity property the trainer's pool test pins.
+func (p Perturbation) Steady() bool {
+	for _, e := range p.events {
+		switch e.Kind {
+		case ProducerFail, ProducerJoin:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PoolEvents returns the iteration's pool-membership events
+// (producer-fail / producer-join), in schedule order.
+func (p Perturbation) PoolEvents() []Event {
+	var out []Event
+	for _, e := range p.events {
+		if e.Kind == ProducerFail || e.Kind == ProducerJoin {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // PreprocessFactor returns the combined data-path slowdown (1 = none).
 func (p Perturbation) PreprocessFactor() float64 { return p.product(PreprocessDegrade) }

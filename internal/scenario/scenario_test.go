@@ -160,6 +160,50 @@ func TestRandomStragglersDeterministic(t *testing.T) {
 	}
 }
 
+// Pool-membership events fire once, don't perturb the cost model, and
+// surface through PoolEvents.
+func TestProducerEvents(t *testing.T) {
+	s, err := New("t",
+		Event{Kind: ProducerFail, Start: 2, Producer: 1},
+		Event{Kind: ProducerJoin, Start: 4, Producer: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EventsAt(3); len(got) != 0 {
+		t.Errorf("fire-once event leaked into iteration 3: %v", got)
+	}
+	p := At(s, 2)
+	if !p.Steady() {
+		t.Error("pool-membership events must not mark the iteration perturbed")
+	}
+	if p.PreprocessFactor() != 1 || p.P2PFactor() != 1 {
+		t.Error("pool-membership events must not scale cost factors")
+	}
+	ev := p.PoolEvents()
+	if len(ev) != 1 || ev[0].Kind != ProducerFail || ev[0].Producer != 1 {
+		t.Errorf("PoolEvents at 2 = %v", ev)
+	}
+	if ev := At(s, 4).PoolEvents(); len(ev) != 1 || ev[0].Kind != ProducerJoin {
+		t.Errorf("PoolEvents at 4 = %v", ev)
+	}
+	// A cost event still breaks steadiness even alongside pool events.
+	mixed, err := New("m",
+		Event{Kind: ProducerFail, Start: 0, Producer: 0},
+		Event{Kind: Straggler, Start: 0, End: 1, Rank: -1, Stage: -1, Factor: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if At(mixed, 0).Steady() {
+		t.Error("straggler alongside pool event reported steady")
+	}
+	// Negative producer index is rejected.
+	if err := (Event{Kind: ProducerFail, Start: 0, Producer: -1}).Validate(); err == nil {
+		t.Error("negative producer accepted")
+	}
+}
+
 func TestParse(t *testing.T) {
 	s, err := Parse("straggler:iters=2-5,rank=0,factor=2.5; congestion:iter=3,factor=3; failure:iter=6,downtime=12; preprocess:iters=0-1,factor=4")
 	if err != nil {
@@ -174,6 +218,17 @@ func TestParse(t *testing.T) {
 	ev, ok := At(s, 6).Failure()
 	if !ok || ev.Downtime != 12 {
 		t.Errorf("failure = %+v ok=%v", ev, ok)
+	}
+
+	pe, err := Parse("producer-fail:iter=2,producer=1; producer-join:iter=4,producer=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := At(pe, 2).PoolEvents(); len(got) != 1 || got[0].Kind != ProducerFail || got[0].Producer != 1 {
+		t.Errorf("parsed producer-fail = %v", got)
+	}
+	if got := At(pe, 4).PoolEvents(); len(got) != 1 || got[0].Kind != ProducerJoin {
+		t.Errorf("parsed producer-join = %v", got)
 	}
 
 	g, err := Parse("random-stragglers:seed=3,ranks=4,prob=0.9,max=2")
@@ -195,6 +250,8 @@ func TestParse(t *testing.T) {
 		"straggler:iter=1,from=nan",                 // non-finite window bound
 		"straggler:iter=1,iters=2-4,factor=2",       // iter and iters collide
 		"straggler:iter=1;random-stragglers:seed=1", // generator mixed with events
+		"producer-fail:iter=1,producer=-2",          // negative producer
+		"straggler:iter=1,producer=0",               // producer on a non-pool event
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)

@@ -42,10 +42,12 @@ type preparedBatch struct {
 	err   error
 }
 
-// prepare fetches and assigns the global batch of one iteration.
+// prepare fetches and assigns the global batch of one iteration
+// through the configured BatchSource — the synthetic corpus front-end
+// by default, a live TCP producer pool when Config.Source is set.
 func (r *Runtime) prepare(iter int) preparedBatch {
-	batch := r.cfg.Corpus.GlobalBatch(int64(iter), r.cfg.Spec.GlobalBatch)
-	ranks, err := r.assign(batch)
+	dp := r.cfg.Plan.Modules[model.Backbone].Config.DP
+	batch, ranks, err := r.source.Assign(iter, dp)
 	return preparedBatch{iter: iter, batch: batch, ranks: ranks, err: err}
 }
 
@@ -332,6 +334,11 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 	var timeSum, usefulFlops float64
 	executedOnce := make(map[int]bool, n)
 	firedFailures := make(map[int]bool)
+	type poolEventKey struct {
+		kind            scenario.Kind
+		start, producer int
+	}
+	firedPool := make(map[poolEventKey]bool)
 	// The async data service: at most one outstanding prepare, consumed
 	// (or discarded, after a failure rewind) before the next launches.
 	var pendingIter int
@@ -355,12 +362,48 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 		pending, pendingIter = ch, i
 	}
 
+	// firePoolEvents dispatches iteration iter's pool-membership
+	// events: producer-fail kills a live pool member (subsequent
+	// fetches fail over), producer-join restores one. Each event fires
+	// once, even across failure-recovery rewinds. It runs before the
+	// iteration's batch is fetched — for the prefetched path that
+	// means before launch(iter), one loop pass early — so an event at
+	// iteration N deterministically affects iteration N's fetches.
+	firePoolEvents := func(iter int) error {
+		for _, ev := range scenario.At(r.cfg.Scenario, iter).PoolEvents() {
+			key := poolEventKey{ev.Kind, ev.Start, ev.Producer}
+			if firedPool[key] {
+				continue
+			}
+			firedPool[key] = true
+			if pc := r.cfg.ProducerControl; pc != nil {
+				var err error
+				if ev.Kind == scenario.ProducerFail {
+					err = pc.FailProducer(ev.Producer)
+				} else {
+					err = pc.JoinProducer(ev.Producer)
+				}
+				if err != nil {
+					return fmt.Errorf("trainer: %s producer %d at iter %d: %w", ev.Kind, ev.Producer, iter, err)
+				}
+			}
+			if tr := r.cfg.Trace; tr != nil {
+				tr.Instant(ev.Kind.String(), "scenario", 0, r.clock, map[string]any{"iter": iter, "producer": ev.Producer})
+			}
+		}
+		return nil
+	}
+
 	i := 0
 	for i < n {
+		pert := scenario.At(r.cfg.Scenario, i)
+		if err := firePoolEvents(i); err != nil {
+			return nil, err
+		}
 		// A node failure interrupts the iteration it lands on: pay the
 		// downtime, restore the latest DFS checkpoint, re-execute the
 		// iterations lost since it. Each failure event fires once.
-		if ev, ok := scenario.At(r.cfg.Scenario, i).Failure(); ok && !firedFailures[ev.Start] {
+		if ev, ok := pert.Failure(); ok && !firedFailures[ev.Start] {
 			firedFailures[ev.Start] = true
 			resume, restore := r.recoverFromFailure()
 			down := ev.Downtime + restore
@@ -377,6 +420,14 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 			continue
 		}
 		p := fetch(i)
+		// The next iteration's pool events fire before its prefetch
+		// launches, so a producer killed "at iteration i+1" is dead for
+		// every one of iteration i+1's fetches.
+		if i+1 < n {
+			if err := firePoolEvents(i + 1); err != nil {
+				return nil, err
+			}
+		}
 		launch(i + 1)
 		st, err := step(p)
 		if err != nil {

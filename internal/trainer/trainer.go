@@ -81,6 +81,17 @@ type Config struct {
 	// FS receives checkpoints; defaults to a fresh simulated DFS.
 	FS *dfs.FS
 
+	// Source overrides the batch/assignment front-end: when non-nil,
+	// every iteration's per-rank sample assignment comes from it — e.g.
+	// a live TCP producer pool via PoolSource — instead of the
+	// synthetic corpus + Algorithm 1 path. The Corpus is still required
+	// (profiler calibration and sample-shape recovery read it).
+	Source BatchSource
+	// ProducerControl receives scenario producer-fail / producer-join
+	// events, killing and restoring live pool members mid-run
+	// (preprocess.Fleet implements it); nil ignores those events.
+	ProducerControl ProducerControl
+
 	// Parallelism bounds the concurrent runtime's per-DP-rank pipeline
 	// worker pool; values < 1 mean GOMAXPROCS. The results are
 	// byte-identical at any value (pinned by test against the
@@ -246,9 +257,10 @@ type Result struct {
 // are not safe for concurrent use — the concurrency lives inside the
 // engine, not across callers.
 type Runtime struct {
-	cfg  Config
-	ckpt *dfs.CheckpointManager
-	fs   *dfs.FS
+	cfg    Config
+	source BatchSource
+	ckpt   *dfs.CheckpointManager
+	fs     *dfs.FS
 	// stage geometry
 	stages   int
 	llmFirst int // index of first LLM stage
@@ -264,6 +276,10 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r := &Runtime{cfg: cfg.withDefaults()}
+	r.source = cfg.Source
+	if r.source == nil {
+		r.source = corpusFrontEnd{r}
+	}
 	lm := cfg.Plan.Modules[model.Backbone].Config
 	r.stages = 1 + lm.PP + 1
 	r.llmFirst = 1
