@@ -19,6 +19,8 @@
 //	disttrain-sim -iters 6 -local-producers 3 \
 //	    -scenario 'producer-fail:iter=2,producer=1; producer-join:iter=4,producer=1'
 //	disttrain-sim -iters 6 -preproc 127.0.0.1:7420,127.0.0.1:7421
+//	disttrain-sim -nodes 4 -batch 32 -iters 14 -adapt \
+//	    -scenario 'workload-shift:iters=2-13,factor=3'
 package main
 
 import (
@@ -42,7 +44,9 @@ func main() {
 		colocate  = flag.Bool("colocate-preprocess", false, "co-locate preprocessing with training")
 		ckpt      = flag.Int("checkpoint-every", 0, "checkpoint interval in iterations (0 = off)")
 		workers   = flag.Int("workers", 0, "per-DP-rank pipeline worker pool size (0 = GOMAXPROCS)")
-		scenSpec  = flag.String("scenario", "", "scenario injection, e.g. 'straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6', 'producer-fail:iter=2,producer=1' or 'random-stragglers:seed=7,ranks=8,prob=0.3,max=3'")
+		scenSpec  = flag.String("scenario", "", "scenario injection, e.g. 'straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6', 'workload-shift:iters=4-9,factor=3', 'producer-fail:iter=2,producer=1' or 'random-stragglers:seed=7,ranks=8,prob=0.3,max=3'")
+		adapt     = flag.Bool("adapt", false, "enable the re-planning controller: drift re-runs the §4.3 orchestrator mid-run and switches plans at iteration boundaries")
+		replanThr = flag.Float64("replan-threshold", 0, "drift score that triggers a re-plan (0 = default 0.25; used with -adapt)")
 		traceFile = flag.String("trace", "", "write the run's Chrome-trace-format timeline to this file")
 		preproc   = flag.String("preproc", "", "comma-separated producer addresses: source microbatches from a live preprocessing pool")
 		localProd = flag.Int("local-producers", 0, "run N in-process preprocessing producers and source microbatches from them")
@@ -149,6 +153,24 @@ func main() {
 		}
 		defer pool.Close()
 		disttrain.UsePreprocessPool(&cfg, pool)
+		cfg.PoolStats = poolStats
+	}
+
+	// Adaptive re-planning: the controller watches drift and re-runs
+	// the orchestrator mid-run, switching plans at iteration
+	// boundaries via costed reconfigurations.
+	var ctrl *disttrain.ReplanController
+	if *adapt {
+		var err error
+		ctrl, err = disttrain.NewReplanController(disttrain.ControllerConfig{
+			Train:       cfg,
+			Threshold:   *replanThr,
+			Parallelism: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		disttrain.UseReplanController(&cfg, ctrl)
 	}
 
 	fmt.Println(plan)
@@ -169,6 +191,10 @@ func main() {
 		fmt.Printf("failure at iter %d: resumed from %d after %.2fs downtime\n",
 			rec.FailedAt, rec.ResumedFrom, rec.Downtime)
 	}
+	for _, rp := range res.Replans {
+		fmt.Printf("replan before iter %d -> %s (%.2fs reconfiguration): %s\n",
+			rp.AppliedAt, rp.Strategy, rp.Downtime, rp.Reason)
+	}
 	fmt.Printf("\n%s on %d GPUs: mean iter %.3fs, MFU %.1f%%, %.2fM tokens/s",
 		res.Strategy, res.GPUs, res.MeanIterTime, 100*res.MFU, res.TokensPerSec/1e6)
 	if res.CheckpointsSaved > 0 {
@@ -178,7 +204,18 @@ func main() {
 		fmt.Printf(", %d failures survived (%d iters re-executed, %.2fs downtime)",
 			res.Failures, res.ReExecutedIterations, res.DowntimeSeconds)
 	}
+	if res.PlanSwitches > 0 {
+		fmt.Printf(", %d plan switches", res.PlanSwitches)
+	}
 	fmt.Println()
+	if ctrl != nil {
+		for _, rep := range ctrl.Reports() {
+			if rep.Triggered {
+				fmt.Printf("drift at iter %d: score %.2f (cost %.2f, spread %.2f, pool %.2f) -> re-plan\n",
+					rep.Iter, rep.Score, rep.CostDrift, rep.SpreadDrift, rep.PoolDrift)
+			}
+		}
+	}
 	if poolStats != nil {
 		fmt.Printf("producer pool: %s\n", poolStats.Snapshot())
 	}

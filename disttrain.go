@@ -33,6 +33,7 @@ import (
 	"context"
 
 	"disttrain/internal/cluster"
+	"disttrain/internal/controller"
 	"disttrain/internal/data"
 	"disttrain/internal/experiments"
 	"disttrain/internal/metrics"
@@ -114,6 +115,29 @@ type (
 	// PoolSource sources the trainer's microbatches from a live
 	// producer pool over TCP.
 	PoolSource = trainer.PoolSource
+	// TrainController is the runtime's re-planning seam: it observes
+	// every iteration's signals and may hand the run a new plan at an
+	// iteration boundary (TrainConfig.Controller).
+	TrainController = trainer.Controller
+	// ControllerObservation is one iteration's signals as the runtime
+	// feeds them to the controller.
+	ControllerObservation = trainer.Observation
+	// PlanSwitch is a controller decision to reconfigure onto a new
+	// plan; Replan is the record of one applied switch in TrainResult.
+	PlanSwitch = trainer.PlanSwitch
+	Replan     = trainer.Replan
+	// ReplanController is the drift-detecting TrainController: it
+	// recalibrates the profiler from observed samples, re-runs the §4.3
+	// search concurrently with training, trial-scores the winner under
+	// the runtime cost model, and switches plans at deterministic
+	// iteration boundaries.
+	ReplanController = controller.Controller
+	// ControllerConfig parameterises a ReplanController (drift
+	// threshold, observation window, cooldown, switch budget).
+	ControllerConfig = controller.Config
+	// DriftReport is one windowed drift evaluation (cost drift vs the
+	// planned profile, DP-rank spread, pool failovers/rejections).
+	DriftReport = controller.DriftReport
 )
 
 // Model presets of the paper's evaluation (§7).
@@ -292,9 +316,26 @@ func UsePreprocessPool(cfg *TrainConfig, pool *PreprocessPool) {
 	cfg.DisaggregatedPreprocess = true
 }
 
+// NewReplanController builds the drift-detecting re-planning
+// controller for a training configuration: attach it with
+// UseReplanController (or set TrainConfig.Controller directly) to
+// close the §4.3 adaptive loop at runtime. cfg.Train should be the
+// same configuration the run executes (it is the trial-evaluation
+// template); zero-valued tuning fields take the documented defaults.
+func NewReplanController(cfg ControllerConfig) (*ReplanController, error) {
+	return controller.New(cfg)
+}
+
+// UseReplanController wires a controller into a training
+// configuration.
+func UseReplanController(cfg *TrainConfig, ctrl TrainController) {
+	cfg.Controller = ctrl
+}
+
 // ParseScenario builds a Scenario from the CLI grammar shared with the
 // -scenario flag: semicolon-separated `kind:key=value,...` events —
 // e.g. `straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6`,
+// `workload-shift:iters=4-9,factor=3`,
 // `producer-fail:iter=2,producer=1`, or the
 // seeded generator `random-stragglers:seed=7,ranks=8,prob=0.3,max=3`.
 func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }

@@ -258,11 +258,49 @@ func (p *Profiler) Calibrate(corpus *data.Corpus, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("profiler: need at least one calibration sample")
 	}
+	shapes := make([]model.SampleShape, n)
+	for i := range shapes {
+		shapes[i] = corpus.Sample(int64(i)).Shape()
+	}
+	return p.CalibrateShapes(shapes)
+}
+
+// CalibrateShapes rebuilds the calibrated profile from observed sample
+// shapes — the runtime recalibration path: the re-planning controller
+// feeds it the shapes training actually saw, so a drift-triggered plan
+// search optimises for the live distribution instead of the ahead-of-
+// time profile (§4.3 made continuous). Not safe to run concurrently
+// with query methods; recalibrate a fresh profiler and share it
+// read-only.
+func (p *Profiler) CalibrateShapes(shapes []model.SampleShape) error {
+	if len(shapes) == 0 {
+		return fmt.Errorf("profiler: need at least one calibration sample")
+	}
+	p.meanShape = MeanShapeOf(shapes)
+	p.calibrated = true
+	p.costs.Range(func(k, _ any) bool { // drop costs memoized on the old shape
+		p.costs.Delete(k)
+		return true
+	})
+	p.buildInterpolation()
+	return nil
+}
+
+// MeanShapeOf folds sample shapes into the calibration mean: the mean
+// image count of mean-sized images plus the mean generation count.
+// This is THE mean-shape definition — CalibrateShapes stores it and
+// the re-planning controller measures drift against it, so both sides
+// of the adaptive loop speak the same coordinates. Returns the zero
+// shape for an empty input.
+func MeanShapeOf(shapes []model.SampleShape) model.SampleShape {
+	n := len(shapes)
+	if n == 0 {
+		return model.SampleShape{}
+	}
 	var totalImgTokens, totalImgs, totalGen int
-	for i := 0; i < n; i++ {
-		s := corpus.Sample(int64(i))
+	for _, s := range shapes {
 		totalImgTokens += s.TotalImageTokens()
-		totalImgs += s.NumImages()
+		totalImgs += len(s.ImageTokens)
 		totalGen += s.GenImages
 	}
 	meanImgs := int(math.Round(float64(totalImgs) / float64(n)))
@@ -274,14 +312,7 @@ func (p *Profiler) Calibrate(corpus *data.Corpus, n int) error {
 	for i := 0; i < meanImgs; i++ {
 		shape.ImageTokens = append(shape.ImageTokens, perImage)
 	}
-	p.meanShape = shape
-	p.calibrated = true
-	p.costs.Range(func(k, _ any) bool { // drop costs memoized on the old shape
-		p.costs.Delete(k)
-		return true
-	})
-	p.buildInterpolation()
-	return nil
+	return shape
 }
 
 // MeanShape returns the calibrated average sample composition.

@@ -310,3 +310,52 @@ func TestCostCacheConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestCalibrateShapes: the observed-shapes recalibration path (the
+// re-planning controller's entry point) agrees exactly with corpus
+// calibration over the same samples, rejects empty input, and drops
+// memoized costs from the previous profile.
+func TestCalibrateShapes(t *testing.T) {
+	m := model.MLLM9B()
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newProfiler(t, m)
+	if err := ref.Calibrate(corpus, 150); err != nil {
+		t.Fatal(err)
+	}
+	shapes := make([]model.SampleShape, 150)
+	for i := range shapes {
+		shapes[i] = corpus.Sample(int64(i)).Shape()
+	}
+	p := newProfiler(t, m)
+	if err := p.CalibrateShapes(shapes); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(p.MeanShape()), fmt.Sprint(ref.MeanShape()); got != want {
+		t.Errorf("CalibrateShapes mean %s != Calibrate mean %s", got, want)
+	}
+	if got, want := p.CTrain(model.Encoder, 2), ref.CTrain(model.Encoder, 2); got != want {
+		t.Errorf("CTrain after CalibrateShapes = %g, want %g", got, want)
+	}
+	if err := p.CalibrateShapes(nil); err == nil {
+		t.Error("empty shape set accepted")
+	}
+	// Recalibration on a heavier distribution must move the memoized
+	// costs, not serve the stale profile.
+	before := p.CTrain(model.Encoder, 1)
+	heavy := make([]model.SampleShape, len(shapes))
+	for i, s := range shapes {
+		heavy[i] = model.SampleShape{GenImages: s.GenImages}
+		for _, tok := range s.ImageTokens {
+			heavy[i].ImageTokens = append(heavy[i].ImageTokens, tok*3)
+		}
+	}
+	if err := p.CalibrateShapes(heavy); err != nil {
+		t.Fatal(err)
+	}
+	if after := p.CTrain(model.Encoder, 1); after <= before {
+		t.Errorf("3x heavier shapes did not raise the encoder cost: %g vs %g", after, before)
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -12,17 +13,26 @@ import (
 //	straggler:iters=2-5,rank=0,stage=1,factor=2.5,from=0.1,until=0.4
 //	preprocess:iters=2-4,factor=4
 //	congestion:iters=1-3,factor=3
+//	workload-shift:iters=4-9,factor=3
 //	failure:iter=5,downtime=30
 //	producer-fail:iter=2,producer=1
 //	producer-join:iter=4,producer=1
 //	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
 //
 // Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
-// `iter=N` is shorthand for a single iteration. `rank`/`stage` default
+// `iter=N` is shorthand for a single iteration (and the only form the
+// fire-once kinds — failure, producer-fail, producer-join — accept).
+// Each kind accepts only the keys that affect it: `rank`, `stage`,
+// `from` and `until` belong to straggler; `factor` to the windowed
+// kinds; `downtime` to failure; `producer` to producer-fail /
+// producer-join. Duplicate keys are rejected. `rank`/`stage` default
 // to -1 (all); `factor` defaults to 2; failure `downtime` defaults to
 // 30 simulated seconds; `producer` defaults to 0. `random-stragglers`
 // must be the only event in its spec — it is a generator, not a timed
 // event.
+//
+// Every parse error names the offending event: `event %d: %q` with the
+// event's zero-based position in the spec and its raw text.
 func Parse(spec string) (Scenario, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -35,20 +45,24 @@ func Parse(spec string) (Scenario, error) {
 		}
 	}
 	var events []Event
-	for _, part := range parts {
+	for i, part := range parts {
 		kind, kvs, err := splitEvent(part)
 		if err != nil {
-			return nil, err
+			return nil, eventErr(i, part, err)
 		}
 		if kind == "random-stragglers" {
 			if len(parts) > 1 {
-				return nil, fmt.Errorf("scenario: random-stragglers cannot be combined with other events")
+				return nil, eventErr(i, part, fmt.Errorf("random-stragglers cannot be combined with other events"))
 			}
-			return parseRandomStragglers(kvs)
+			g, err := parseRandomStragglers(kvs)
+			if err != nil {
+				return nil, eventErr(i, part, err)
+			}
+			return g, nil
 		}
 		e, err := parseEvent(kind, kvs)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: %q: %w", part, err)
+			return nil, eventErr(i, part, err)
 		}
 		events = append(events, e)
 	}
@@ -56,6 +70,12 @@ func Parse(spec string) (Scenario, error) {
 		return nil, fmt.Errorf("scenario: no events in %q", spec)
 	}
 	return New(spec, events...)
+}
+
+// eventErr stamps every parse failure with the offending event's index
+// and raw token, so multi-event specs pinpoint which clause broke.
+func eventErr(i int, part string, err error) error {
+	return fmt.Errorf("scenario: event %d: %q: %w", i, part, err)
 }
 
 func splitEvent(part string) (kind string, kvs map[string]string, err error) {
@@ -68,11 +88,38 @@ func splitEvent(part string) (kind string, kvs map[string]string, err error) {
 	for _, kv := range strings.Split(rest, ",") {
 		k, v, ok := strings.Cut(kv, "=")
 		if !ok {
-			return "", nil, fmt.Errorf("scenario: malformed key=value %q in %q", kv, part)
+			return "", nil, fmt.Errorf("malformed key=value %q", kv)
 		}
-		kvs[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		k = strings.TrimSpace(k)
+		if _, dup := kvs[k]; dup {
+			return "", nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kvs[k] = strings.TrimSpace(v)
 	}
 	return kind, kvs, nil
+}
+
+// eventKeys lists, per kind, the keys beyond the iteration window that
+// the kind actually consumes. Keys outside the list are rejected
+// instead of silently ignored: an event that parses must mean what it
+// says.
+var eventKeys = map[Kind]string{
+	Straggler:         "rank stage factor from until",
+	PreprocessDegrade: "factor",
+	LinkCongestion:    "factor",
+	WorkloadShift:     "factor",
+	NodeFailure:       "downtime",
+	ProducerFail:      "producer",
+	ProducerJoin:      "producer",
+}
+
+func keyAllowed(k Kind, key string) bool {
+	for _, a := range strings.Fields(eventKeys[k]) {
+		if a == key {
+			return true
+		}
+	}
+	return false
 }
 
 func parseEvent(kind string, kvs map[string]string) (Event, error) {
@@ -84,6 +131,8 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 		e.Kind = PreprocessDegrade
 	case "congestion":
 		e.Kind = LinkCongestion
+	case "workload-shift":
+		e.Kind = WorkloadShift
 	case "failure":
 		e.Kind = NodeFailure
 		e.Downtime = 30
@@ -103,6 +152,9 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 			e.End = e.Start + 1
 			haveIter = true
 		case "iters":
+			if e.Kind.fireOnce() {
+				return Event{}, fmt.Errorf("%s fires once: use iter=N, not a window", kind)
+			}
 			lo, hi, ok := strings.Cut(v, "-")
 			if !ok {
 				return Event{}, fmt.Errorf("iters wants lo-hi, got %q", v)
@@ -125,15 +177,15 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 		case "downtime":
 			e.Downtime, err = strconv.ParseFloat(v, 64)
 		case "producer":
-			if e.Kind != ProducerFail && e.Kind != ProducerJoin {
-				return Event{}, fmt.Errorf("producer only applies to producer-fail/producer-join, not %s", kind)
-			}
 			e.Producer, err = strconv.Atoi(v)
 		default:
 			return Event{}, fmt.Errorf("unknown key %q for %s", k, kind)
 		}
 		if err != nil {
 			return Event{}, fmt.Errorf("bad %s=%q: %w", k, v, err)
+		}
+		if k != "iter" && k != "iters" && !keyAllowed(e.Kind, k) {
+			return Event{}, fmt.Errorf("key %q does not apply to %s (allowed: iter/iters %s)", k, kind, eventKeys[e.Kind])
 		}
 	}
 	// iter and iters are exclusive: with both present, map iteration
@@ -146,6 +198,11 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 	}
 	return e, e.Validate()
 }
+
+// maxGeneratorRanks bounds random-stragglers fan-out: each covered
+// iteration draws per rank, so an absurd rank count turns EventsAt
+// into a denial of service. Real DP degrees sit far below this.
+const maxGeneratorRanks = 1 << 16
 
 func parseRandomStragglers(kvs map[string]string) (Scenario, error) {
 	g := RandomStragglers{Seed: 1, Ranks: 1, Prob: 0.2, MaxFactor: 3}
@@ -161,14 +218,19 @@ func parseRandomStragglers(kvs map[string]string) (Scenario, error) {
 		case "max":
 			g.MaxFactor, err = strconv.ParseFloat(v, 64)
 		default:
-			return nil, fmt.Errorf("scenario: unknown key %q for random-stragglers", k)
+			return nil, fmt.Errorf("unknown key %q for random-stragglers", k)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("scenario: bad %s=%q: %w", k, v, err)
+			return nil, fmt.Errorf("bad %s=%q: %w", k, v, err)
 		}
 	}
-	if g.Ranks < 1 || g.Prob < 0 || g.Prob > 1 || g.MaxFactor < 1 {
-		return nil, fmt.Errorf("scenario: random-stragglers wants ranks>=1, prob in [0,1], max>=1")
+	switch {
+	case g.Ranks < 1 || g.Ranks > maxGeneratorRanks:
+		return nil, fmt.Errorf("random-stragglers wants ranks in [1, %d], got %d", maxGeneratorRanks, g.Ranks)
+	case math.IsNaN(g.Prob) || g.Prob < 0 || g.Prob > 1:
+		return nil, fmt.Errorf("random-stragglers wants prob in [0,1], got %g", g.Prob)
+	case math.IsNaN(g.MaxFactor) || g.MaxFactor < 1 || g.MaxFactor > MaxFactor:
+		return nil, fmt.Errorf("random-stragglers wants max in [1, %g], got %g", MaxFactor, g.MaxFactor)
 	}
 	return g, nil
 }

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"disttrain/internal/data"
+	"disttrain/internal/model"
 	"disttrain/internal/pipeline"
 )
 
@@ -48,6 +50,17 @@ const (
 	// iteration Start — the elastic scale-up counterpart of
 	// ProducerFail. Fires once.
 	ProducerJoin
+	// WorkloadShift changes the sample-cost distribution mid-run: for
+	// the covered iterations every sample's image subsequences are
+	// scaled by Factor (resolution by sqrt(Factor), tokens following
+	// the patch grid), so encoder/generator work per sample grows while
+	// sample identity — and therefore the gradient-accumulation
+	// semantics — is a pure function of the scenario and the iteration.
+	// This is the data-distribution drift of §2.3 made dynamic; the
+	// re-planning controller reacts to it. Applied by the corpus batch
+	// front-end (live producer pools own their preprocessing and do not
+	// observe scenarios).
+	WorkloadShift
 )
 
 func (k Kind) String() string {
@@ -64,6 +77,8 @@ func (k Kind) String() string {
 		return "producer-fail"
 	case ProducerJoin:
 		return "producer-join"
+	case WorkloadShift:
+		return "workload-shift"
 	}
 	return fmt.Sprintf("scenario.Kind(%d)", int(k))
 }
@@ -100,9 +115,15 @@ type Event struct {
 	Producer int
 }
 
+// MaxFactor bounds every slowdown / scale multiplier. Factors beyond
+// it are not physically meaningful and only serve to overflow
+// downstream cost arithmetic (products of stacked events reaching
+// +Inf), so validation rejects them — a bound the fuzzer leans on.
+const MaxFactor = 1e9
+
 // Validate checks one event.
 func (e Event) Validate() error {
-	if e.Kind < Straggler || e.Kind > ProducerJoin {
+	if e.Kind < Straggler || e.Kind > WorkloadShift {
 		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
 	}
 	if e.Start < 0 {
@@ -112,8 +133,8 @@ func (e Event) Validate() error {
 		if e.End <= e.Start {
 			return fmt.Errorf("scenario: %s window [%d,%d) empty", e.Kind, e.Start, e.End)
 		}
-		if e.Factor < 1 || math.IsNaN(e.Factor) || math.IsInf(e.Factor, 0) {
-			return fmt.Errorf("scenario: %s factor %g must be >= 1 and finite", e.Kind, e.Factor)
+		if e.Factor < 1 || e.Factor > MaxFactor || math.IsNaN(e.Factor) {
+			return fmt.Errorf("scenario: %s factor %g must be in [1, %g]", e.Kind, e.Factor, MaxFactor)
 		}
 		if e.From < 0 || math.IsNaN(e.From) || math.IsInf(e.From, 0) {
 			return fmt.Errorf("scenario: %s from %g must be finite and non-negative", e.Kind, e.From)
@@ -122,8 +143,8 @@ func (e Event) Validate() error {
 			return fmt.Errorf("scenario: %s until %g must be finite and non-negative", e.Kind, e.Until)
 		}
 	}
-	if e.Downtime < 0 {
-		return fmt.Errorf("scenario: %s downtime %g negative", e.Kind, e.Downtime)
+	if e.Downtime < 0 || math.IsNaN(e.Downtime) || math.IsInf(e.Downtime, 0) {
+		return fmt.Errorf("scenario: %s downtime %g must be finite and non-negative", e.Kind, e.Downtime)
 	}
 	if (e.Kind == ProducerFail || e.Kind == ProducerJoin) && e.Producer < 0 {
 		return fmt.Errorf("scenario: %s producer %d negative", e.Kind, e.Producer)
@@ -263,9 +284,61 @@ func (p Perturbation) PoolEvents() []Event {
 // PreprocessFactor returns the combined data-path slowdown (1 = none).
 func (p Perturbation) PreprocessFactor() float64 { return p.product(PreprocessDegrade) }
 
+// ShiftFactor returns the combined workload-shift scale (1 = none).
+func (p Perturbation) ShiftFactor() float64 { return p.product(WorkloadShift) }
+
+// ShiftBatch applies the iteration's workload shift to a batch,
+// returning the input untouched (no allocation) when no shift covers
+// the iteration. The transform is per-sample and deterministic, so
+// prefetchers and failure-recovery replays observe identical batches.
+func (p Perturbation) ShiftBatch(batch []data.Sample) []data.Sample {
+	f := p.ShiftFactor()
+	if f == 1 {
+		return batch
+	}
+	out := make([]data.Sample, len(batch))
+	for i, s := range batch {
+		out[i] = ShiftSample(s, f)
+	}
+	return out
+}
+
+// ShiftSample scales a sample's image subsequences by factor: each
+// source resolution grows by sqrt(factor) (snapped to the patch grid,
+// so token counts track (res/patch)^2 ≈ tokens*factor), modelling a
+// corpus whose images got heavier mid-run. Text subsequences, sample
+// identity and generation targets are untouched — the shift changes
+// what a sample costs, never which samples an iteration trains on.
+func ShiftSample(s data.Sample, factor float64) data.Sample {
+	if factor == 1 {
+		return s
+	}
+	subs := append([]data.Subsequence(nil), s.Subsequences...)
+	edge := math.Sqrt(factor)
+	for i, ss := range subs {
+		if ss.Modality != data.Image {
+			continue
+		}
+		res := int(math.Round(float64(ss.Resolution) * edge))
+		res -= res % model.PatchSize
+		if res < model.PatchSize {
+			res = model.PatchSize
+		}
+		subs[i].Resolution = res
+		subs[i].Tokens = model.ImageTokens(res)
+	}
+	s.Subsequences = subs
+	return s
+}
+
 // P2PFactor returns the combined link-congestion scale (1 = none).
 func (p Perturbation) P2PFactor() float64 { return p.product(LinkCongestion) }
 
+// product folds the factors of every covering event of one kind.
+// Validation bounds each factor by MaxFactor, but nothing bounds how
+// many events may stack on one iteration, so the combined factor is
+// clamped to MaxFactor too — the physical bound applies to the total
+// slowdown, and the clamp keeps stacked schedules finite.
 func (p Perturbation) product(k Kind) float64 {
 	f := 1.0
 	for _, e := range p.events {
@@ -273,7 +346,7 @@ func (p Perturbation) product(k Kind) float64 {
 			f *= e.Factor
 		}
 	}
-	return f
+	return math.Min(f, MaxFactor)
 }
 
 // Failure returns the iteration's NodeFailure event, if any.
@@ -350,6 +423,10 @@ func combineRates(events []Event, stage int) pipeline.RateSchedule {
 				rate /= w.factor
 			}
 		}
+		// Stacked stragglers clamp like product(): a combined slowdown
+		// beyond MaxFactor would underflow the rate toward zero and
+		// stall the pipeline simulation.
+		rate = math.Max(rate, 1/MaxFactor)
 		// Merge equal-rate neighbours to keep schedules minimal.
 		if n := len(sched); n > 0 && sched[n-1].Rate == rate {
 			sched[n-1].Until = c

@@ -1,10 +1,13 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
+	"disttrain/internal/data"
 	"disttrain/internal/pipeline"
 )
 
@@ -42,6 +45,11 @@ func TestEventValidate(t *testing.T) {
 		{Kind: LinkCongestion, Start: 0, End: 1, Factor: 0.5},
 		{Kind: PreprocessDegrade, Start: 0, End: 1, Factor: math.NaN()},
 		{Kind: NodeFailure, Start: 0, Downtime: -1},
+		{Kind: NodeFailure, Start: 0, Downtime: math.NaN()},
+		{Kind: NodeFailure, Start: 0, Downtime: math.Inf(1)},
+		{Kind: WorkloadShift, Start: 0, End: 1, Factor: 0.5},
+		{Kind: Straggler, Start: 0, End: 1, Factor: 2e9},
+		{Kind: Straggler, Start: 0, End: 1, Factor: math.Inf(1)},
 		{Kind: Straggler, Start: 0, End: 1, Factor: 2, From: math.NaN()},
 		{Kind: Straggler, Start: 0, End: 1, Factor: 2, Until: math.Inf(1)},
 		{Kind: Straggler, Start: 0, End: 1, Factor: 2, From: -1},
@@ -73,6 +81,34 @@ func TestPerturbationFactors(t *testing.T) {
 	}
 	if At(nil, 0).PreprocessFactor() != 1 || At(nil, 0).P2PFactor() != 1 {
 		t.Error("nil scenario should be the steady state")
+	}
+}
+
+// TestStackedFactorsStayFinite: per-event validation bounds each
+// factor by MaxFactor, but events may stack without limit on one
+// iteration — the combined factor (and the combined straggler rate)
+// must clamp instead of overflowing to +Inf / underflowing to 0.
+func TestStackedFactorsStayFinite(t *testing.T) {
+	var events []Event
+	for i := 0; i < 40; i++ {
+		events = append(events,
+			Event{Kind: LinkCongestion, Start: 0, End: 1, Factor: MaxFactor},
+			Event{Kind: Straggler, Start: 0, End: 1, Rank: -1, Stage: -1, Factor: MaxFactor})
+	}
+	s, err := New("stack", events...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := At(s, 0)
+	if got := p.P2PFactor(); got != MaxFactor {
+		t.Errorf("stacked congestion factor = %g, want clamped to %g", got, MaxFactor)
+	}
+	for _, sched := range p.RateSchedules(0, 2) {
+		for _, seg := range sched {
+			if seg.Rate < 1/MaxFactor || math.IsNaN(seg.Rate) {
+				t.Errorf("stacked straggler rate %g below the 1/MaxFactor clamp", seg.Rate)
+			}
+		}
 	}
 }
 
@@ -246,15 +282,120 @@ func TestParse(t *testing.T) {
 		"straggler:iters=5-2,factor=2",              // empty window
 		"congestion:iter=1,factor=0.2",              // factor < 1
 		"failure:iter=2,downtime=-3",                // negative downtime
+		"failure:iter=2,downtime=nan",               // non-finite downtime
 		"straggler:iter=1,volume=9",                 // unknown key
 		"straggler:iter=1,from=nan",                 // non-finite window bound
 		"straggler:iter=1,iters=2-4,factor=2",       // iter and iters collide
 		"straggler:iter=1;random-stragglers:seed=1", // generator mixed with events
 		"producer-fail:iter=1,producer=-2",          // negative producer
 		"straggler:iter=1,producer=0",               // producer on a non-pool event
+		"congestion:iter=1,rank=0",                  // rank on a fabric-wide event
+		"workload-shift:iter=1,stage=2",             // stage on a data event
+		"failure:iter=2,factor=3",                   // factor on a fire-once event
+		"failure:iters=2-5",                         // window on a fire-once event
+		"preprocess:iter=1,downtime=3",              // downtime on a windowed event
+		"straggler:iter=1,factor=2,factor=3",        // duplicate key
+		"workload-shift:iter=1,factor=1e308",        // factor beyond MaxFactor
+		"random-stragglers:prob=nan",                // non-finite generator prob
+		"random-stragglers:max=inf",                 // non-finite generator factor
+		"random-stragglers:ranks=99999999",          // generator fan-out bound
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseWorkloadShift: the new kind parses, resolves to a shift
+// factor over exactly its window, and marks iterations perturbed.
+func TestParseWorkloadShift(t *testing.T) {
+	s, err := Parse("workload-shift:iters=2-3,factor=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := At(s, 1).ShiftFactor(); got != 1 {
+		t.Errorf("shift leaked before its window: %g", got)
+	}
+	for _, iter := range []int{2, 3} {
+		p := At(s, iter)
+		if got := p.ShiftFactor(); got != 3 {
+			t.Errorf("iter %d shift factor = %g, want 3", iter, got)
+		}
+		if p.Steady() {
+			t.Errorf("iter %d with a workload shift reported steady", iter)
+		}
+	}
+	if got := At(s, 4).ShiftFactor(); got != 1 {
+		t.Errorf("shift leaked past its window: %g", got)
+	}
+}
+
+// TestShiftSample: the transform scales image cost, preserves sample
+// identity and text, and composes deterministically through
+// ShiftBatch.
+func TestShiftSample(t *testing.T) {
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := corpus.Sample(7)
+	for s.NumImages() == 0 {
+		s = corpus.Sample(s.Index + 1)
+	}
+	shifted := ShiftSample(s, 4)
+	if shifted.Index != s.Index || shifted.GenImages != s.GenImages || shifted.TextTokens() != s.TextTokens() {
+		t.Errorf("shift changed sample identity: %+v vs %+v", shifted, s)
+	}
+	lo, hi := float64(s.TotalImageTokens())*3, float64(s.TotalImageTokens())*5
+	if got := float64(shifted.TotalImageTokens()); got < lo || got > hi {
+		t.Errorf("4x shift moved image tokens %d -> %g, want within [%g, %g]",
+			s.TotalImageTokens(), got, lo, hi)
+	}
+	if !reflect.DeepEqual(ShiftSample(s, 4), shifted) {
+		t.Error("ShiftSample is not deterministic")
+	}
+	if got := ShiftSample(s, 1); !reflect.DeepEqual(got, s) {
+		t.Error("factor 1 must be the identity")
+	}
+	sc, err := New("t", Event{Kind: WorkloadShift, Start: 0, End: 1, Factor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []data.Sample{s, corpus.Sample(s.Index + 1)}
+	out := At(sc, 0).ShiftBatch(batch)
+	if !reflect.DeepEqual(out[0], shifted) {
+		t.Error("ShiftBatch disagrees with ShiftSample")
+	}
+	if same := At(sc, 5).ShiftBatch(batch); &same[0] != &batch[0] {
+		t.Error("unshifted iteration should return the batch untouched")
+	}
+}
+
+// TestParseErrorsCarryEventContext: every parse failure names the
+// offending event's index and raw token (`event %d: %q`), in all
+// paths — malformed key/value splits, bad event bodies, and the
+// random-stragglers generator alike.
+func TestParseErrorsCarryEventContext(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		idx  int
+		tok  string
+	}{
+		{"straggler:iter=1;congestion:iter=2,factor=0.2", 1, "congestion:iter=2,factor=0.2"},
+		{"straggler:iter=1; warp:iter=1", 1, "warp:iter=1"},
+		{"straggler:iter=1,rank", 0, "straggler:iter=1,rank"},
+		{"congestion:iter=1; straggler:iter=1;random-stragglers:seed=1", 2, "random-stragglers:seed=1"},
+		{"random-stragglers:prob=7", 0, "random-stragglers:prob=7"},
+		{"failure:iter=1;failure:iter=2,downtime=nan", 1, "failure:iter=2,downtime=nan"},
+	} {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.spec)
+			continue
+		}
+		wantIdx := fmt.Sprintf("event %d:", tc.idx)
+		if !strings.Contains(err.Error(), wantIdx) || !strings.Contains(err.Error(), fmt.Sprintf("%q", tc.tok)) {
+			t.Errorf("Parse(%q) error %q missing %q / %q context", tc.spec, err, wantIdx, tc.tok)
 		}
 	}
 }

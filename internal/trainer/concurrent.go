@@ -12,6 +12,7 @@ import (
 	"disttrain/internal/dfs"
 	"disttrain/internal/metrics"
 	"disttrain/internal/model"
+	"disttrain/internal/orchestrator"
 	"disttrain/internal/pipeline"
 	"disttrain/internal/reorder"
 	"disttrain/internal/scenario"
@@ -394,6 +395,49 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 		return nil
 	}
 
+	var grad GradientAccumulator
+	if r.cfg.GradientDim > 0 {
+		grad = GradientAccumulator{Dim: r.cfg.GradientDim}
+		res.GradientSum = make([]int64, r.cfg.GradientDim)
+	}
+
+	// applySwitch reconfigures onto a controller-chosen plan at the
+	// boundary before iteration i: a costed plan switch (checkpoint
+	// write + restore read), with any prefetched batch discarded —
+	// its DP assignment was computed under the old geometry. An
+	// infeasible plan (the seam is public: a controller may hand back
+	// anything) rejects the switch and continues on the incumbent;
+	// only real runtime failures (checkpoint write errors) abort.
+	applySwitch := func(i int, sw *PlanSwitch) error {
+		if err := r.checkPlan(sw.Plan); err != nil {
+			if tr := r.cfg.Trace; tr != nil {
+				tr.Instant("replan-rejected", "controller", 0, r.clock,
+					map[string]any{"iter": i, "error": err.Error()})
+			}
+			return nil
+		}
+		if pending != nil {
+			<-pending
+			pending = nil
+		}
+		down, err := r.reconfigure(sw.Plan, i)
+		if err != nil {
+			return err
+		}
+		res.PlanSwitches++
+		res.DowntimeSeconds += down
+		res.Replans = append(res.Replans, Replan{
+			AppliedAt: i, Strategy: sw.Plan.Strategy, Reason: sw.Reason, Downtime: down,
+		})
+		if tr := r.cfg.Trace; tr != nil {
+			tr.Instant("replan", "controller", 0, r.clock,
+				map[string]any{"iter": i, "strategy": sw.Plan.Strategy, "reason": sw.Reason})
+			tr.Complete("reconfigure", "controller", 0, 0, r.clock, down)
+		}
+		r.clock += down
+		return nil
+	}
+
 	i := 0
 	for i < n {
 		pert := scenario.At(r.cfg.Scenario, i)
@@ -419,6 +463,16 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 			i = resume
 			continue
 		}
+		// The re-planning controller gets the boundary before the
+		// iteration: a scheduled concurrent plan search joins here and
+		// the switch (if any) applies as a costed reconfiguration.
+		if ctl := r.cfg.Controller; ctl != nil {
+			if sw := ctl.Pending(i); sw != nil && sw.Plan != nil {
+				if err := applySwitch(i, sw); err != nil {
+					return nil, err
+				}
+			}
+		}
 		p := fetch(i)
 		// The next iteration's pool events fire before its prefetch
 		// launches, so a producer killed "at iteration i+1" is dead for
@@ -438,6 +492,22 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 		if !executedOnce[i] {
 			executedOnce[i] = true
 			usefulFlops += st.FLOPs
+			if res.GradientSum != nil {
+				// Exact commutative accumulation over the global batch:
+				// re-executions (optimizer state rewound) count once.
+				g := grad.AccumulateInt(p.batch)
+				for k := range res.GradientSum {
+					res.GradientSum[k] += g[k]
+				}
+			}
+		}
+		if ctl := r.cfg.Controller; ctl != nil {
+			obs := Observation{Iter: i, Stats: st, Batch: p.batch}
+			if r.cfg.PoolStats != nil {
+				snap := r.cfg.PoolStats.Snapshot()
+				obs.Pool = &snap
+			}
+			ctl.Observe(obs)
 		}
 		i++
 	}
@@ -446,11 +516,12 @@ func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error
 	res.MeanIterTime = timeSum / executed
 	wall := timeSum + res.DowntimeSeconds
 	res.MFU = metrics.MFU(usefulFlops, res.GPUs, r.cfg.Spec.Cluster.GPU.PeakFLOPS, wall)
-	if res.Failures == 0 {
+	if res.Failures == 0 && res.PlanSwitches == 0 {
 		res.TokensPerSec = metrics.Throughput(r.cfg.Spec.GlobalBatch, r.cfg.Spec.Model.SeqLen, res.MeanIterTime)
 	} else {
-		// Useful tokens over total wall-clock: redone iterations and
-		// downtime cost throughput, they don't produce tokens twice.
+		// Useful tokens over total wall-clock: redone iterations,
+		// recovery downtime and reconfiguration downtime all cost
+		// throughput — they don't produce tokens twice (or at all).
 		res.TokensPerSec = float64(n) * float64(r.cfg.Spec.GlobalBatch) * float64(r.cfg.Spec.Model.SeqLen) / wall
 	}
 	if r.ckpt != nil {
@@ -475,4 +546,49 @@ func (r *Runtime) recoverFromFailure() (resume int, restoreSeconds float64) {
 		return 0, 0
 	}
 	return ck.Step + 1, d
+}
+
+// checkPlan reports whether a controller-proposed plan can execute
+// under the runtime's spec.
+func (r *Runtime) checkPlan(p *orchestrator.Plan) error {
+	if p == nil {
+		return fmt.Errorf("trainer: nil reconfiguration plan")
+	}
+	lm := p.Modules[model.Backbone].Config
+	if lm.DP < 1 || lm.PP < 1 {
+		return fmt.Errorf("trainer: reconfiguration plan has degenerate backbone config %v", lm.String())
+	}
+	if bs := r.cfg.Spec.GlobalBatch; bs%(lm.DP*r.cfg.Spec.Microbatch) != 0 {
+		return fmt.Errorf("trainer: reconfiguration plan DP_lm=%d * M=%d does not divide BS=%d",
+			lm.DP, r.cfg.Spec.Microbatch, bs)
+	}
+	return nil
+}
+
+// reconfigure applies a checked controller plan switch at the boundary
+// before iteration iter: price the switch — a synchronous full
+// checkpoint write under the old geometry plus a restore read under
+// the new one, the PR recovery machinery without any lost work —
+// persist a real checkpoint when checkpointing is on (so a later
+// failure resumes past the switch), and rebuild the runtime's stage
+// geometry.
+func (r *Runtime) reconfigure(p *orchestrator.Plan, iter int) (float64, error) {
+	lm := p.Modules[model.Backbone].Config
+	down := r.checkpointSeconds() // write: the outgoing geometry streams its state
+	if r.ckpt != nil && iter > 0 {
+		state := []byte(fmt.Sprintf("reconfig-%d", iter-1))
+		if err := r.ckpt.Save(dfs.Checkpoint{Step: iter - 1, State: state}); err != nil {
+			return 0, err
+		}
+		// The switch is synchronous: state must be durable before the
+		// restart, unlike the asynchronous steady-state checkpoints.
+		r.ckpt.Flush()
+	}
+	r.cfg.Plan = p
+	r.stages = 1 + lm.PP + 1
+	r.genStage = r.stages - 1
+	r.p2p = r.buildP2P()
+	r.nameRankLanes(lm.DP)
+	down += r.restoreSeconds() // read: the incoming geometry restores it
+	return down, nil
 }

@@ -2,11 +2,13 @@ package trainer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"disttrain/internal/data"
 	"disttrain/internal/preprocess"
+	"disttrain/internal/scenario"
 )
 
 // BatchSource supplies the batch/assignment front-end: each
@@ -36,13 +38,71 @@ type ProducerControl interface {
 
 // corpusFrontEnd is the synthetic source: fetch the global batch from
 // the corpus and run Algorithm 1's assignment locally — the historical
-// front-end, now behind the BatchSource seam.
+// front-end, now behind the BatchSource seam. Scenario workload-shift
+// events transform the batch before assignment, so Algorithm 1
+// balances the shifted costs — the data-distribution drift the
+// re-planning controller watches for. (Live producer pools own their
+// preprocessing and do not observe scenarios.)
 type corpusFrontEnd struct{ r *Runtime }
 
 func (c corpusFrontEnd) Assign(iter, dp int) ([]data.Sample, [][]data.Sample, error) {
 	batch := c.r.cfg.Corpus.GlobalBatch(int64(iter), c.r.cfg.Spec.GlobalBatch)
+	batch = scenario.At(c.r.cfg.Scenario, iter).ShiftBatch(batch)
 	ranks, err := c.r.assign(batch)
 	return batch, ranks, err
+}
+
+// fixedBatches serves a fixed list of global batches (iteration i
+// gets batches[i mod len]) through the runtime's own Algorithm 1
+// assignment — the trial front-end behind TrialMeanIterTime.
+type fixedBatches struct {
+	r       *Runtime
+	batches [][]data.Sample
+}
+
+func (f fixedBatches) Assign(iter, dp int) ([]data.Sample, [][]data.Sample, error) {
+	b := f.batches[iter%len(f.batches)]
+	ranks, err := f.r.assign(b)
+	return b, ranks, err
+}
+
+// TrialMeanIterTime prices one iteration per given global batch under
+// cfg's plan with the sequential engine — no prefetch, no scenario, no
+// traces, no checkpoints — and returns the mean iteration time. The
+// re-planning controller scores candidate plans on the observed window
+// with it: the full runtime cost model (reordering imperfection,
+// straggler spread from data heterogeneity, exposed P2P, gradient
+// sync, preprocessing stalls) routinely disagrees with the planner's
+// analytic Eq. 1/Eq. 2 estimate on which of two close plans is
+// faster, and the runtime model is the one MeanIterTime is measured
+// in. Deterministic: same cfg and batches, same answer.
+func TrialMeanIterTime(cfg Config, batches [][]data.Sample) (float64, error) {
+	if len(batches) == 0 {
+		return 0, errors.New("trainer: trial needs at least one batch")
+	}
+	cfg.Scenario = nil
+	cfg.Controller = nil
+	cfg.Trace = nil
+	cfg.CheckpointEvery = 0
+	cfg.Source = nil
+	cfg.ProducerControl = nil
+	cfg.PoolStats = nil
+	cfg.GradientDim = 0
+	rt, err := New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	rt.source = fixedBatches{r: rt, batches: batches}
+	var sum float64
+	for i := range batches {
+		st, err := rt.RunIterationSequential(i)
+		if err != nil {
+			return 0, err
+		}
+		sum += st.Breakdown.Total()
+	}
+	return sum / float64(len(batches)), nil
 }
 
 // PoolSource sources each iteration's microbatches from a live

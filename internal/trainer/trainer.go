@@ -92,6 +92,23 @@ type Config struct {
 	// (preprocess.Fleet implements it); nil ignores those events.
 	ProducerControl ProducerControl
 
+	// Controller, when non-nil, closes the §4.3 adaptive loop at
+	// runtime: it observes every iteration's signals and may hand the
+	// run a new plan to apply at an iteration boundary as a costed
+	// reconfiguration (internal/controller implements drift-triggered
+	// re-planning). Nil runs the plan chosen ahead of time, unchanged.
+	Controller Controller
+	// PoolStats, when non-nil alongside a live producer pool, is
+	// snapshotted into every controller Observation so failover and
+	// rejection counts can contribute to drift detection.
+	PoolStats *metrics.PoolStats
+	// GradientDim, when positive, accumulates the exact (wrap-around
+	// int64) pseudo-gradient of every first-execution iteration's
+	// global batch into Result.GradientSum — the §5 commutativity
+	// witness, extended across failure rewinds and plan switches. 0
+	// disables the accumulation.
+	GradientDim int
+
 	// Parallelism bounds the concurrent runtime's per-DP-rank pipeline
 	// worker pool; values < 1 mean GOMAXPROCS. The results are
 	// byte-identical at any value (pinned by test against the
@@ -195,6 +212,9 @@ func (c Config) Validate() error {
 	if c.ColocInterference < 0 {
 		return fmt.Errorf("trainer: ColocInterference %g negative", c.ColocInterference)
 	}
+	if c.GradientDim < 0 {
+		return fmt.Errorf("trainer: GradientDim %d negative", c.GradientDim)
+	}
 	return nil
 }
 
@@ -245,12 +265,24 @@ type Result struct {
 	CheckpointsSaved int
 	// Failures counts scenario-injected node failures survived;
 	// ReExecutedIterations the iterations redone after restores, and
-	// DowntimeSeconds the total detection/restart + restore time.
+	// DowntimeSeconds the total detection/restart + restore time —
+	// including the reconfiguration cost of controller plan switches.
 	Failures             int
 	ReExecutedIterations int
 	DowntimeSeconds      float64
 	// Recoveries records each failure in order.
 	Recoveries []Recovery
+	// PlanSwitches counts mid-run reconfigurations the re-planning
+	// controller applied; Replans records each one in order. Their
+	// downtime is included in DowntimeSeconds.
+	PlanSwitches int
+	Replans      []Replan
+	// GradientSum is the exact wrap-around int64 gradient accumulation
+	// over every first-execution iteration's global batch, populated
+	// when Config.GradientDim > 0. Plans (and plan switches) permute
+	// placement and order, never the commutative accumulation, so any
+	// two runs over the same batches agree bit for bit.
+	GradientSum []int64
 }
 
 // Runtime executes iterations for a fixed configuration. Its methods
@@ -268,6 +300,9 @@ type Runtime struct {
 	p2p      []float64
 	// clock is the trace emission cursor in simulated seconds.
 	clock float64
+	// namedRanks tracks how many dp-rank trace lanes carry names, so a
+	// plan switch that grows DP names only the new lanes.
+	namedRanks int
 }
 
 // New validates the config and builds a runtime.
@@ -294,11 +329,24 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if tr := r.cfg.Trace; tr != nil {
 		tr.NameProcess(0, "runtime")
-		for d := 0; d < lm.DP; d++ {
-			tr.NameProcess(d+1, fmt.Sprintf("dp-rank %d", d))
-		}
+		r.nameRankLanes(lm.DP)
 	}
 	return r, nil
+}
+
+// nameRankLanes labels dp-rank trace lanes up to dp, naming each lane
+// at most once across plan switches.
+func (r *Runtime) nameRankLanes(dp int) {
+	tr := r.cfg.Trace
+	if tr == nil {
+		return
+	}
+	for d := r.namedRanks; d < dp; d++ {
+		tr.NameProcess(d+1, fmt.Sprintf("dp-rank %d", d))
+	}
+	if dp > r.namedRanks {
+		r.namedRanks = dp
+	}
 }
 
 // Close releases the checkpoint writer.
@@ -496,30 +544,50 @@ func (r *Runtime) optimizerStep() float64 {
 	return worst
 }
 
-// checkpointSeconds prices one full checkpoint write to the DFS:
-// trainable parameters plus optimizer state. ZeRO-1 makes optimizer
-// shards disjoint across every GPU of a module, so all of a trainable
-// module's GPUs stream their own shards in parallel.
-func (r *Runtime) checkpointSeconds() float64 {
+// stateBytes returns the bytes of one full training state — trainable
+// parameters plus optimizer state — and the GPUs that stream it.
+// ZeRO-1 makes optimizer shards disjoint across every GPU of a module,
+// so all of a trainable module's GPUs transfer their own shards in
+// parallel.
+func (r *Runtime) stateBytes() (bytes float64, clients int) {
 	spec := r.cfg.Spec
 	freeze := spec.Profiler.Options().Freeze
-	var bytes float64
-	writers := 0
 	for _, mp := range r.cfg.Plan.Modules {
 		if freeze.Frozen(mp.Module) {
 			continue
 		}
 		bytes += spec.Model.Params(mp.Module) * (model.BytesPerParam + model.BytesPerOptimState)
-		writers += mp.GPUs()
+		clients += mp.GPUs()
 	}
+	return bytes, clients
+}
+
+func (r *Runtime) stateFS() *dfs.FS {
+	if r.fs != nil {
+		return r.fs
+	}
+	return dfs.New()
+}
+
+// checkpointSeconds prices one full checkpoint write to the DFS.
+func (r *Runtime) checkpointSeconds() float64 {
+	bytes, writers := r.stateBytes()
 	if writers == 0 {
 		return 0
 	}
-	fs := r.fs
-	if fs == nil {
-		fs = dfs.New()
-	}
+	fs := r.stateFS()
 	return fs.Latency + bytes/(fs.WriteBps*float64(writers))
+}
+
+// restoreSeconds prices reading one full training state back from the
+// DFS — the recovery (and plan-switch) restore path.
+func (r *Runtime) restoreSeconds() float64 {
+	bytes, readers := r.stateBytes()
+	if readers == 0 {
+		return 0
+	}
+	fs := r.stateFS()
+	return fs.Latency + bytes/(fs.ReadBps*float64(readers))
 }
 
 // iterationFLOPs sums the model FLOPs executed for the batch under the
