@@ -4,11 +4,12 @@
 GO ?= go
 
 # COVER_FLOOR is the total-coverage gate: measured ~72% when the gate
-# was added (PR 4), floored just below to absorb line-count churn.
-# Raise it as coverage grows; never lower it to get a change in.
-COVER_FLOOR ?= 71.5
+# was added (PR 4), raised to 73 with the fleet runtime (PR 5, measured
+# above it). Raise it as coverage grows; never lower it to get a
+# change in.
+COVER_FLOOR ?= 73
 
-.PHONY: all build fmt vet test race bench fuzz cover ci
+.PHONY: all build fmt vet test race bench bench-json fuzz cover ci
 
 all: build
 
@@ -37,6 +38,16 @@ race:
 # bench is the smoke run: every benchmark once, no measurement loops.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-json runs the bench smoke and records a machine-readable
+# baseline (ns/op per benchmark plus reported metrics such as
+# BenchmarkFleetThroughput's iters/s) in BENCH_fleet.json, written
+# atomically. Future PRs diff against it instead of eyeballing logs.
+BENCH_JSON ?= BENCH_fleet.json
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
+	$(GO) run ./cmd/disttrain-benchjson -o $(BENCH_JSON) < bench.out
+	@rm -f bench.out
 
 # fuzz smoke: hammer the user-facing parsers with generated inputs for
 # a few seconds each — the preprocessing wire protocol and the scenario

@@ -376,6 +376,52 @@ func BenchmarkTrainSerialVsConcurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetThroughput sweeps the multi-tenant fleet runtime over
+// 1/4/16 concurrent jobs — identical tenants on 2-node leases, so the
+// shared plan cache collapses every run to a single §4.3 search — and
+// reports aggregate training iterations per wall-clock second. On a
+// multi-core machine the aggregate rate should grow with the tenant
+// count (cross-job parallelism on top of each job's own rank workers).
+// Included in the `make bench-json` baseline as the fleet's
+// scaling-trajectory metric.
+func BenchmarkFleetThroughput(b *testing.B) {
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const itersPerJob = 2
+	for _, jobs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			spec := benchSpec(b, model.MLLM9B(), 2*jobs, 32)
+			tmpl := NewTrainConfig(spec, nil, corpus)
+			tmpl.Parallelism = 2 // rank workers per job; scaling comes from cross-job fan-out
+			cfg := FleetConfig{Cluster: spec.Cluster}
+			for j := 0; j < jobs; j++ {
+				cfg.Jobs = append(cfg.Jobs, FleetJobSpec{
+					Name: fmt.Sprintf("t%d", j), Train: tmpl,
+					Iters: itersPerJob, MinNodes: 2, MaxNodes: 2,
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, jr := range res.Jobs {
+					if jr.Err != nil {
+						b.Fatal(jr.Err)
+					}
+				}
+				if res.PlanSearches != 1 {
+					b.Fatalf("identical tenants ran %d plan searches", res.PlanSearches)
+				}
+			}
+			b.ReportMetric(float64(jobs*itersPerJob*b.N)/b.Elapsed().Seconds(), "iters/s")
+		})
+	}
+}
+
 // BenchmarkTrainerIteration measures one full end-to-end DistTrain
 // iteration at the ablation scale.
 func BenchmarkTrainerIteration(b *testing.B) {

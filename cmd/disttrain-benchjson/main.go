@@ -1,0 +1,112 @@
+// Command disttrain-benchjson converts `go test -bench` output on
+// stdin into machine-readable JSON, so every PR can record a
+// performance baseline (`make bench-json` writes BENCH_fleet.json)
+// and future changes can diff ns/op per benchmark instead of
+// eyeballing logs.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | disttrain-benchjson -o BENCH_fleet.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"disttrain/internal/metrics"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries every extra `<value> <unit>` pair the benchmark
+	// reported (b.ReportMetric, -benchmem): bubble%, iters/s, B/op...
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the output document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout); written atomically via temp file + rename")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := writeAtomic(*out, report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+// parse extracts benchmark result lines: `BenchmarkName-P  N  V ns/op
+// [V unit]...`. Non-benchmark lines (experiment tables, PASS/ok) are
+// skipped.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if unit := fields[i+1]; unit == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if b.NsPerOp > 0 {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+// writeAtomic lands the report through the shared temp-file+rename
+// helper the trace writers use, so a failure mid-encode never leaves
+// a truncated baseline.
+func writeAtomic(path string, report *Report) error {
+	return metrics.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disttrain-benchjson:", err)
+	os.Exit(1)
+}

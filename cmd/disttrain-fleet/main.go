@@ -1,0 +1,158 @@
+// Command disttrain-fleet runs a multi-tenant fleet: many concurrent
+// training jobs scheduled over one shared cluster, each holding an
+// explicit, elastically resizable GPU lease. Jobs are admitted FIFO,
+// sized by the placement policy (fifo or fair-share), and all plan
+// searches go through one fingerprint-keyed cache — identical jobs pay
+// for a single §4.3 search. The fleet-scope scenario grammar injects
+// arrivals, departures and node failures/rejoins; -trace writes the
+// merged per-job Chrome-trace timeline (atomically: temp file +
+// rename).
+//
+// Examples:
+//
+//	disttrain-fleet -nodes 8 -jobs 2 -job-nodes 2-4 -job-iters 4 -policy fair-share
+//	disttrain-fleet -nodes 8 -jobs 2 -arrive 0,2 \
+//	    -scenario 'node-fail:iter=3,node=0; node-join:iter=5,node=0'
+//	disttrain-fleet -nodes 16 -jobs 4 -job-nodes 4-4 -trace fleet.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"disttrain"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "9b", "model preset: 9b, 15b or 72b")
+		nodes     = flag.Int("nodes", 8, "shared cluster size in 8-GPU nodes")
+		jobs      = flag.Int("jobs", 2, "number of identical jobs to submit")
+		jobIters  = flag.Int("job-iters", 3, "iterations per job")
+		batch     = flag.Int("batch", 32, "global batch size per job")
+		jobNodes  = flag.String("job-nodes", "", "per-job lease range min-max in nodes (default 1-<nodes>)")
+		arrive    = flag.String("arrive", "", "comma-separated arrival rounds, one per job (default all 0)")
+		policy    = flag.String("policy", "fair-share", "placement policy: fifo or fair-share")
+		scenSpec  = flag.String("scenario", "", "fleet-scope scenario, e.g. 'job-arrive:iter=2,job=0; node-fail:iter=3,node=1; node-join:iter=5,node=1; job-depart:iter=4,job=0'")
+		workers   = flag.Int("workers", 0, "per-round job-step worker pool size (0 = GOMAXPROCS)")
+		traceFile = flag.String("trace", "", "write the merged fleet timeline (Chrome trace format) to this file")
+	)
+	flag.Parse()
+
+	m, err := modelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, corpus, err := disttrain.NewSpec(m, *nodes, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := disttrain.ParseFleetPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	minN, maxN := 1, *nodes
+	if *jobNodes != "" {
+		lo, hi, ok := strings.Cut(*jobNodes, "-")
+		if ok {
+			minN, err = strconv.Atoi(strings.TrimSpace(lo))
+			if err == nil {
+				maxN, err = strconv.Atoi(strings.TrimSpace(hi))
+			}
+		}
+		if !ok || err != nil {
+			fatal(fmt.Errorf("-job-nodes wants min-max, got %q", *jobNodes))
+		}
+	}
+	arrivals := make([]int, *jobs)
+	if *arrive != "" {
+		parts := strings.Split(*arrive, ",")
+		if len(parts) != *jobs {
+			fatal(fmt.Errorf("-arrive lists %d rounds for %d jobs", len(parts), *jobs))
+		}
+		for i, p := range parts {
+			if arrivals[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+				fatal(fmt.Errorf("bad arrival %q: %w", p, err))
+			}
+		}
+	}
+
+	tmpl := disttrain.NewTrainConfig(spec, nil, corpus)
+	cfg := disttrain.FleetConfig{
+		Cluster: spec.Cluster,
+		Policy:  pol,
+		Workers: *workers,
+		Trace:   *traceFile != "",
+	}
+	for i := 0; i < *jobs; i++ {
+		cfg.Jobs = append(cfg.Jobs, disttrain.FleetJobSpec{
+			Name: fmt.Sprintf("job%d", i), Train: tmpl, Iters: *jobIters,
+			MinNodes: minN, MaxNodes: maxN, Arrive: arrivals[i],
+		})
+	}
+	if *scenSpec != "" {
+		sc, err := disttrain.ParseScenario(*scenSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = sc
+	}
+
+	res, err := disttrain.RunFleet(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fleet: %d nodes, %s policy, %d rounds, %d tenants\n",
+		*nodes, pol, res.Rounds, len(res.Jobs))
+	fmt.Printf("plan cache: %d searches, %d hits\n", res.PlanSearches, res.PlanHits)
+	for _, jr := range res.Jobs {
+		if jr.Err != nil {
+			fmt.Printf("  %-10s FAILED: %v\n", jr.Name, jr.Err)
+			continue
+		}
+		if jr.Result == nil {
+			// Departed (or otherwise retired) before it was ever placed.
+			fmt.Printf("  %-10s never started (departed %v)\n", jr.Name, jr.Departed)
+			continue
+		}
+		r := jr.Result
+		fmt.Printf("  %-10s rounds %d..%d  %-10s iters %d  resizes %d  mean iter %.3fs  MFU %4.1f%%",
+			jr.Name, jr.Started, jr.Finished, jr.Strategy, len(r.Iterations), jr.Resizes,
+			r.MeanIterTime, 100*r.MFU)
+		if jr.Departed {
+			fmt.Printf("  (departed)")
+		}
+		if r.DowntimeSeconds > 0 {
+			fmt.Printf("  downtime %.2fs", r.DowntimeSeconds)
+		}
+		fmt.Println()
+	}
+
+	if *traceFile != "" {
+		if err := res.Trace.WriteJSONFile(*traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: %s (%d events; open in chrome://tracing or Perfetto)\n", *traceFile, res.Trace.Len())
+	}
+}
+
+func modelByName(name string) (disttrain.MLLM, error) {
+	switch strings.ToLower(name) {
+	case "9b", "mllm-9b":
+		return disttrain.MLLM9B(), nil
+	case "15b", "mllm-15b":
+		return disttrain.MLLM15B(), nil
+	case "72b", "mllm-72b":
+		return disttrain.MLLM72B(), nil
+	}
+	return disttrain.MLLM{}, fmt.Errorf("unknown model %q (want 9b, 15b or 72b)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disttrain-fleet:", err)
+	os.Exit(1)
+}

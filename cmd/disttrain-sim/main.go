@@ -221,15 +221,9 @@ func main() {
 	}
 
 	if trace != nil {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write (temp file + rename): a failure mid-encode must
+		// never leave a truncated timeline at the destination.
+		if err := trace.WriteJSONFile(*traceFile); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("timeline: %s (%d events; open in chrome://tracing or Perfetto)\n", *traceFile, trace.Len())

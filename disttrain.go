@@ -36,6 +36,7 @@ import (
 	"disttrain/internal/controller"
 	"disttrain/internal/data"
 	"disttrain/internal/experiments"
+	"disttrain/internal/fleet"
 	"disttrain/internal/metrics"
 	"disttrain/internal/model"
 	"disttrain/internal/orchestrator"
@@ -138,6 +139,41 @@ type (
 	// DriftReport is one windowed drift evaluation (cost drift vs the
 	// planned profile, DP-rank spread, pool failovers/rejections).
 	DriftReport = controller.DriftReport
+	// Lease is a job's explicit, resizable claim on whole nodes of a
+	// shared cluster — the multi-tenant unit of GPU ownership.
+	Lease = cluster.Lease
+	// TrainJob is one training run as a schedulable unit: built with
+	// NewJob on a trainer runtime, advanced step by step, resizable at
+	// iteration boundaries. The fleet runtime drives these.
+	TrainJob = trainer.Job
+	// LeaseAware is the optional TrainController extension notified
+	// when the fleet resizes a job's lease mid-run.
+	LeaseAware = trainer.LeaseAware
+	// FleetConfig drives a multi-tenant fleet run: shared cluster, job
+	// submissions, placement policy, fleet-scope scenario, plan cache.
+	FleetConfig = fleet.Config
+	// FleetJobSpec is one submission: a training template plus its
+	// scheduling envelope (iterations, node range, arrival round).
+	FleetJobSpec = fleet.JobSpec
+	// FleetResult aggregates a fleet run; FleetJobResult is one
+	// tenant's outcome.
+	FleetResult    = fleet.Result
+	FleetJobResult = fleet.JobResult
+	// FleetPolicy selects lease sizing and elasticity (FleetFIFO or
+	// FleetFairShare).
+	FleetPolicy = fleet.Policy
+	// FleetRoundInfo is one scheduling round's lease-table snapshot,
+	// delivered to FleetConfig.OnRound observers.
+	FleetRoundInfo = fleet.RoundInfo
+	// PlanCache is the fingerprint-keyed, singleflight plan-search
+	// cache fleets share: K identical specs pay for one §4.3 search.
+	PlanCache = orchestrator.PlanCache
+)
+
+// Fleet placement policies.
+const (
+	FleetFIFO      = fleet.FIFO
+	FleetFairShare = fleet.FairShare
 )
 
 // Model presets of the paper's evaluation (§7).
@@ -332,11 +368,36 @@ func UseReplanController(cfg *TrainConfig, ctrl TrainController) {
 	cfg.Controller = ctrl
 }
 
+// RunFleet executes a multi-tenant fleet run: jobs are admitted in
+// FIFO order, placed on the shared cluster through explicit node
+// leases, elastically resized under the configured policy, and driven
+// concurrently — one training iteration per job per scheduling round,
+// fanned out over a bounded worker pool. Results and the merged fleet
+// trace are deterministic at any worker count; a 1-job fleet is
+// byte-identical to Train on the same cluster.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+// NewPlanCache builds a shared plan-search cache; pass it to several
+// FleetConfigs (or use one fleet's private cache implicitly) so
+// identical specs across tenants pay for a single plan search.
+func NewPlanCache(opts SearchOptions) *PlanCache { return orchestrator.NewPlanCache(opts) }
+
+// NewLease builds a lease over the given node indices of a shared
+// cluster.
+func NewLease(nodes ...int) Lease { return cluster.NewLease(nodes...) }
+
+// ParseFleetPolicy maps the CLI policy names (fifo, fair-share) to a
+// FleetPolicy.
+func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
 // ParseScenario builds a Scenario from the CLI grammar shared with the
 // -scenario flag: semicolon-separated `kind:key=value,...` events —
 // e.g. `straggler:iters=2-5,rank=0,factor=2.5; failure:iter=6`,
 // `workload-shift:iters=4-9,factor=3`,
-// `producer-fail:iter=2,producer=1`, or the
+// `producer-fail:iter=2,producer=1`,
+// the fleet-scope events `job-arrive:iter=2,job=1`,
+// `job-depart:iter=5,job=0`, `node-fail:iter=3,node=2`,
+// `node-join:iter=6,node=2` (FleetConfig.Scenario), or the
 // seeded generator `random-stragglers:seed=7,ranks=8,prob=0.3,max=3`.
 func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
 

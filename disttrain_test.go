@@ -79,3 +79,49 @@ func TestExperimentRegistry(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestFacadeFleet(t *testing.T) {
+	spec, corpus, err := NewSpec(MLLM9B(), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFleetPolicy("nope"); err == nil {
+		t.Error("unknown fleet policy accepted")
+	}
+	pol, err := ParseFleetPolicy("fair-share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := NewLease(1, 0); l.NodeCount() != 2 {
+		t.Fatalf("lease %v", l)
+	}
+	cache := NewPlanCache(SearchOptions{})
+	tmpl := NewTrainConfig(spec, nil, corpus)
+	res, err := RunFleet(FleetConfig{
+		Cluster: spec.Cluster,
+		Jobs: []FleetJobSpec{
+			{Name: "x", Train: tmpl, Iters: 2, MinNodes: 2, MaxNodes: 2},
+			{Name: "y", Train: tmpl, Iters: 2, MinNodes: 2, MaxNodes: 2},
+		},
+		Policy: pol,
+		Cache:  cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanSearches != 1 || res.PlanHits != 1 {
+		t.Errorf("shared cache: %d searches, %d hits", res.PlanSearches, res.PlanHits)
+	}
+	for _, jr := range res.Jobs {
+		if jr.Err != nil {
+			t.Fatalf("job %s: %v", jr.Name, jr.Err)
+		}
+		if jr.Result.MFU <= 0 {
+			t.Errorf("job %s: implausible MFU", jr.Name)
+		}
+	}
+	// The shared cache is warm for the next fleet with the same spec.
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d fingerprints", cache.Len())
+	}
+}

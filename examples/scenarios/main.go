@@ -66,14 +66,9 @@ func main() {
 		res.TokensPerSec/1e6, 100*res.MFU)
 
 	out := filepath.Join(os.TempDir(), "disttrain-scenarios-trace.json")
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := trace.WriteJSON(f); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	// Atomic write (temp file + rename): never leaves a truncated
+	// timeline behind.
+	if err := trace.WriteJSONFile(out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("timeline: %s (%d events; open in chrome://tracing or Perfetto)\n", out, trace.Len())

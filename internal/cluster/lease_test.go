@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLeaseBasics(t *testing.T) {
+	base := Production(8)
+	l := NewLease(5, 1, 3)
+	if !reflect.DeepEqual(l.Nodes, []int{1, 3, 5}) {
+		t.Fatalf("NewLease did not sort: %v", l.Nodes)
+	}
+	if l.NodeCount() != 3 || l.GPUs(base) != 24 {
+		t.Fatalf("count %d gpus %d", l.NodeCount(), l.GPUs(base))
+	}
+	if !l.Contains(3) || l.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if got := l.Without(3); !reflect.DeepEqual(got.Nodes, []int{1, 5}) {
+		t.Fatalf("Without(3) = %v", got.Nodes)
+	}
+	if got := l.Without(7); !reflect.DeepEqual(got.Nodes, []int{1, 3, 5}) {
+		t.Fatalf("Without(miss) = %v", got.Nodes)
+	}
+	if err := l.Validate(base); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]Lease{
+		"empty":        {},
+		"out of range": NewLease(0, 8),
+		"negative":     NewLease(-1),
+		"duplicate":    {Nodes: []int{1, 1}},
+		"unsorted":     {Nodes: []int{3, 1}},
+	} {
+		if err := bad.Validate(base); err == nil {
+			t.Errorf("%s lease accepted", name)
+		}
+	}
+}
+
+// TestLeaseSubcluster pins the equivalence the fleet runtime builds
+// on: a lease's subcluster is the base cluster at the leased node
+// count — identical hardware, identical per-GPU cost-model inputs.
+func TestLeaseSubcluster(t *testing.T) {
+	base := Production(12)
+	sub := NewLease(2, 7, 9).Subcluster(base)
+	if sub != Production(3) {
+		t.Fatalf("subcluster %+v != Production(3)", sub)
+	}
+	if sub.CrossNodeBandwidthPerGPU() != base.CrossNodeBandwidthPerGPU() {
+		t.Fatal("per-GPU bandwidth changed with node count")
+	}
+}

@@ -203,8 +203,11 @@ type Controller struct {
 	reports  []DriftReport
 }
 
-// Assert the seam is satisfied.
-var _ trainer.Controller = (*Controller)(nil)
+// Assert the seams are satisfied.
+var (
+	_ trainer.Controller = (*Controller)(nil)
+	_ trainer.LeaseAware = (*Controller)(nil)
+)
 
 // New validates the config and builds a controller.
 func New(cfg Config) (*Controller, error) {
@@ -408,6 +411,30 @@ func (c *Controller) Pending(iter int) *trainer.PlanSwitch {
 	c.applied++
 	c.mu.Unlock()
 	return &trainer.PlanSwitch{Plan: out.plan, Reason: out.reason}
+}
+
+// LeaseChanged implements trainer.LeaseAware: a fleet lease resize is
+// a reconfiguration the controller did not choose, so everything it
+// reasons relative to moves — the orchestration problem (the spec's
+// cluster is now the resized lease's subcluster), the incumbent plan,
+// and the drift reference the current window was scored against. The
+// controller adopts the new geometry as the new normal: it drops the
+// observation window, abandons any in-flight search (its boundary
+// would apply a plan built for the old geometry), and re-bases drift
+// on the profile the new plan was built under.
+func (c *Controller) LeaseChanged(iter int, spec orchestrator.Spec, plan *orchestrator.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Train.Spec = spec
+	c.cfg.Train.Plan = plan
+	c.current = plan
+	c.refCost = sampleCost(spec, spec.Profiler.MeanShape())
+	// Abandon any in-flight search: its boundary would apply a plan
+	// built for the old geometry. The channel is buffered, so the
+	// searcher's single send never blocks and the channel is simply
+	// collected.
+	c.window = nil
+	c.pending = nil
 }
 
 // CurrentPlan returns the incumbent plan (the latest applied switch,

@@ -1,0 +1,784 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/metrics"
+	"disttrain/internal/orchestrator"
+	"disttrain/internal/scenario"
+	"disttrain/internal/trainer"
+)
+
+// JobSpec is one submission to the fleet: a training configuration
+// template plus its scheduling envelope.
+type JobSpec struct {
+	// Name labels the job in results and the merged trace; instances
+	// get "-<id>" appended so repeated arrivals stay distinguishable.
+	Name string
+	// Train is the training template. Its Spec.Cluster must be the
+	// fleet's shared cluster; the fleet scopes each instance to its
+	// lease (Config.Lease), overrides Plan with the shared plan
+	// cache's decision for that lease size, and replaces Trace with a
+	// private per-job trace (Config.Trace) — a shared one would
+	// interleave tenants nondeterministically. Scenario, Controller
+	// and the cost-model knobs are the tenant's own business and pass
+	// through untouched.
+	Train trainer.Config
+	// Iters is the run length in training iterations.
+	Iters int
+	// MinNodes and MaxNodes bound the job's elastic lease. MinNodes
+	// must be large enough for the model to plan feasibly (admission
+	// fails otherwise); 0 defaults to 1. MaxNodes 0 defaults to the
+	// whole fleet.
+	MinNodes, MaxNodes int
+	// Arrive is the fleet round the job enters the admission queue.
+	Arrive int
+}
+
+// Config drives one fleet run.
+type Config struct {
+	// Cluster is the shared fleet every lease is carved out of.
+	Cluster cluster.Cluster
+	// Jobs are the submissions. Scenario job-arrive events may submit
+	// additional instances of any entry.
+	Jobs []JobSpec
+	// Policy selects lease sizing and elasticity (FIFO or FairShare).
+	Policy Policy
+	// Scenario carries fleet-scope events only (job-arrive, job-depart,
+	// node-fail, node-join) and must be a fixed schedule — generators
+	// have no knowable last round. Per-job perturbations belong in each
+	// JobSpec's Train.Scenario.
+	Scenario scenario.Scenario
+	// Cache, when non-nil, is the shared plan cache to consult (and
+	// warm); nil builds a private one with Search options. Result
+	// search/hit counts are deltas over this run either way.
+	Cache *orchestrator.PlanCache
+	// Search tunes plan searches when the fleet builds its own cache.
+	Search orchestrator.SearchOptions
+	// Workers bounds the per-round tenant-step worker pool; values < 1
+	// mean GOMAXPROCS. Results and traces are byte-identical at any
+	// value.
+	Workers int
+	// Trace enables per-job Chrome-trace timelines and the merged
+	// fleet timeline on the Result.
+	Trace bool
+	// OnRound, when non-nil, observes every round's post-scheduling
+	// lease state — the seam the lease-accounting invariant tests
+	// watch. It must not mutate anything.
+	OnRound func(RoundInfo)
+}
+
+// RoundInfo is one round's lease-table snapshot.
+type RoundInfo struct {
+	Round  int
+	Free   []int
+	Failed []int
+	// Leases maps tenant id -> leased nodes, for every tenant holding
+	// any.
+	Leases map[int][]int
+}
+
+// JobResult is one tenant's outcome.
+type JobResult struct {
+	// Name is the instance label; Spec the Config.Jobs index it was
+	// built from; ID the fleet-wide tenant id (submission order) —
+	// what job-depart events address.
+	Name string
+	Spec int
+	ID   int
+	// Arrived, Started and Finished are fleet rounds; Started is -1
+	// when the job was never placed.
+	Arrived, Started, Finished int
+	// Departed marks a job-depart termination; Resizes counts applied
+	// lease changes.
+	Departed bool
+	Resizes  int
+	// Lease is the final lease (empty once released).
+	Lease cluster.Lease
+	// Strategy names the plan the job started on.
+	Strategy string
+	// Result is the training result (nil when the job never started);
+	// Trace its timeline when Config.Trace was set.
+	Result *trainer.Result
+	Trace  *metrics.Trace
+	// Err records an admission or runtime failure.
+	Err error
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	// Jobs are the tenants in submission order.
+	Jobs []JobResult
+	// Rounds is how many scheduling rounds the fleet executed.
+	Rounds int
+	// PlanSearches and PlanHits are the plan cache's delta over this
+	// run: searches actually executed vs calls served from the cache.
+	PlanSearches, PlanHits int64
+	// Trace is the merged fleet timeline (per-job lanes PID-offset
+	// into disjoint blocks, scheduler lane last); nil unless
+	// Config.Trace.
+	Trace *metrics.Trace
+}
+
+// tenant states.
+const (
+	stateQueued = iota
+	stateRunning
+	stateDone
+)
+
+type tenant struct {
+	id, spec int
+	name     string
+	cfg      trainer.Config // instance copy of the template
+	iters    int
+	min, max int
+
+	arrived, started, finished int
+	departed                   bool
+	resizes                    int
+
+	rt     *trainer.Runtime
+	job    *trainer.Job
+	lease  cluster.Lease
+	trace  *metrics.Trace
+	result *trainer.Result
+	err    error
+
+	strategy string
+	state    int
+	stepErr  error
+}
+
+// runner is one fleet run's mutable state.
+type runner struct {
+	cfg        Config
+	ctx        context.Context
+	table      *LeaseTable
+	cache      *orchestrator.PlanCache
+	events     []scenario.Event
+	tenants    []*tenant
+	queue      []*tenant
+	round      int
+	admitted   int // tenants admitted this round
+	retired    int // tenants retired this round (their nodes freed)
+	fleetTrace *metrics.Trace
+}
+
+// Run executes the fleet to completion: every submitted (and
+// scenario-arrived) job is admitted, run, resized and finalised under
+// the configured policy. Per-tenant failures land in their JobResult;
+// only configuration errors fail the run itself.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("fleet: no jobs submitted")
+	}
+	events, err := fleetEvents(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	// Defaults land on a private copy: callers may reuse one Jobs
+	// slice across fleets (and cluster sizes) without this run's
+	// defaults sticking.
+	cfg.Jobs = append([]JobSpec(nil), cfg.Jobs...)
+	for i := range cfg.Jobs {
+		js := &cfg.Jobs[i]
+		if js.MinNodes == 0 {
+			js.MinNodes = 1
+		}
+		if js.MaxNodes == 0 {
+			js.MaxNodes = cfg.Cluster.Nodes
+		}
+		switch {
+		case js.Iters <= 0:
+			return nil, fmt.Errorf("fleet: job %d needs at least one iteration", i)
+		case js.Arrive < 0:
+			return nil, fmt.Errorf("fleet: job %d arrival round %d negative", i, js.Arrive)
+		case js.MinNodes < 1 || js.MinNodes > js.MaxNodes || js.MaxNodes > cfg.Cluster.Nodes:
+			return nil, fmt.Errorf("fleet: job %d wants [%d,%d] nodes on a %d-node fleet",
+				i, js.MinNodes, js.MaxNodes, cfg.Cluster.Nodes)
+		case js.Train.Spec.Cluster != cfg.Cluster:
+			return nil, fmt.Errorf("fleet: job %d's Train.Spec.Cluster differs from the shared fleet", i)
+		}
+		// A controller is stateful per run: two tenants observing into
+		// one would mix their drift windows, and the Observe
+		// interleaving would depend on worker scheduling — breaking the
+		// determinism contract. Reject sharing across specs and any
+		// spec a job-arrive event would instantiate a second time.
+		if ctl := js.Train.Controller; ctl != nil {
+			if reflect.TypeOf(ctl).Comparable() {
+				for j := 0; j < i; j++ {
+					if o := cfg.Jobs[j].Train.Controller; o != nil &&
+						reflect.TypeOf(o).Comparable() && o == ctl {
+						return nil, fmt.Errorf("fleet: jobs %d and %d share one Train.Controller; controllers are per-tenant state", j, i)
+					}
+				}
+			}
+			for _, ev := range events {
+				if ev.Kind == scenario.JobArrive && ev.Job == i {
+					return nil, fmt.Errorf("fleet: job %d carries a Train.Controller but a job-arrive event re-instantiates it; give each instance its own controller", i)
+				}
+			}
+		}
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = orchestrator.NewPlanCache(cfg.Search)
+	}
+	f := &runner{
+		cfg:   cfg,
+		ctx:   context.Background(),
+		table: NewLeaseTable(cfg.Cluster.Nodes),
+		cache: cache, events: events,
+	}
+	if cfg.Trace {
+		f.fleetTrace = metrics.NewTrace()
+		f.fleetTrace.NameProcess(0, "scheduler")
+	}
+	baseSearches, baseHits := cache.Searches(), cache.Hits()
+
+	lastRound := 0
+	for _, js := range cfg.Jobs {
+		if js.Arrive > lastRound {
+			lastRound = js.Arrive
+		}
+	}
+	for _, ev := range events {
+		if ev.Start > lastRound {
+			lastRound = ev.Start
+		}
+	}
+
+	for f.round = 0; ; f.round++ {
+		f.admitted, f.retired = 0, 0
+		f.enqueueArrivals()
+		f.applyEvents()
+		f.admit()
+		if cfg.Policy == FairShare {
+			f.growToShare()
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(f.roundInfo())
+		}
+		f.stepRunning()
+		f.completeFinished()
+		if f.round >= lastRound && f.runningCount() == 0 {
+			if len(f.queue) == 0 {
+				break
+			}
+			// A retirement this round freed nodes the queue has not seen
+			// yet — give admission one more pass. Only a round with no
+			// admissions and no freed capacity proves the queue is stuck.
+			if f.admitted == 0 && f.retired == 0 {
+				f.starveQueue()
+				break
+			}
+		}
+	}
+
+	res := &Result{
+		Rounds:       f.round + 1,
+		PlanSearches: cache.Searches() - baseSearches,
+		PlanHits:     cache.Hits() - baseHits,
+	}
+	for _, t := range f.tenants {
+		res.Jobs = append(res.Jobs, JobResult{
+			Name: t.name, Spec: t.spec, ID: t.id,
+			Arrived: t.arrived, Started: t.started, Finished: t.finished,
+			Departed: t.departed, Resizes: t.resizes,
+			Lease: t.lease, Strategy: t.strategy,
+			Result: t.result, Trace: t.trace, Err: t.err,
+		})
+	}
+	if cfg.Trace {
+		merged := metrics.NewTrace()
+		base := 0
+		for _, t := range f.tenants {
+			if t.trace == nil {
+				continue
+			}
+			merged.AppendOffset(t.trace, base, t.name+"/")
+			base += t.trace.MaxPID() + 1
+		}
+		merged.AppendOffset(f.fleetTrace, base, "fleet/")
+		res.Trace = merged
+	}
+	return res, nil
+}
+
+// fleetEvents extracts and validates the fleet-scope event schedule.
+func fleetEvents(s scenario.Scenario) ([]scenario.Event, error) {
+	if s == nil {
+		return nil, nil
+	}
+	sched, ok := s.(*scenario.Schedule)
+	if !ok {
+		return nil, fmt.Errorf("fleet: scenario %q must be a fixed schedule", s.Name())
+	}
+	evs := sched.Events()
+	for _, e := range evs {
+		if !e.Kind.FleetScope() {
+			return nil, fmt.Errorf("fleet: %s is not a fleet-scope event; put per-job perturbations in the job's Train.Scenario", e.Kind)
+		}
+	}
+	return evs, nil
+}
+
+// note emits a scheduler-lane trace instant at the current round.
+func (f *runner) note(name string, args map[string]any) {
+	if f.fleetTrace != nil {
+		f.fleetTrace.Instant(name, "fleet", 0, float64(f.round), args)
+	}
+}
+
+// newTenant submits one instance of job spec si to the queue.
+func (f *runner) newTenant(si int) {
+	js := f.cfg.Jobs[si]
+	name := js.Name
+	if name == "" {
+		name = "job"
+	}
+	t := &tenant{
+		id: len(f.tenants), spec: si,
+		name:  fmt.Sprintf("%s-%d", name, len(f.tenants)),
+		cfg:   js.Train,
+		iters: js.Iters,
+		min:   js.MinNodes, max: js.MaxNodes,
+		arrived: f.round, started: -1, finished: -1,
+		state: stateQueued,
+	}
+	f.tenants = append(f.tenants, t)
+	f.queue = append(f.queue, t)
+	f.note("job-arrive", map[string]any{"job": t.id, "name": t.name})
+}
+
+// enqueueArrivals submits this round's arrivals: Config.Jobs entries
+// first (in index order), then scenario job-arrive events (in schedule
+// order).
+func (f *runner) enqueueArrivals() {
+	for i, js := range f.cfg.Jobs {
+		if js.Arrive == f.round {
+			f.newTenant(i)
+		}
+	}
+	for _, ev := range f.events {
+		if ev.Kind == scenario.JobArrive && ev.Start == f.round {
+			if ev.Job < 0 || ev.Job >= len(f.cfg.Jobs) {
+				f.note("job-arrive-ignored", map[string]any{"job": ev.Job, "reason": "no such job spec"})
+				continue
+			}
+			f.newTenant(ev.Job)
+		}
+	}
+}
+
+// applyEvents fires this round's node-join, node-fail and job-depart
+// events, in that order (joins first so freed capacity is visible to
+// the failure shrink path and admission in the same round).
+func (f *runner) applyEvents() {
+	for _, ev := range f.events {
+		if ev.Kind == scenario.FleetNodeJoin && ev.Start == f.round {
+			if err := f.table.Join(ev.Node); err != nil {
+				f.note("node-join-ignored", map[string]any{"node": ev.Node, "reason": err.Error()})
+				continue
+			}
+			f.note("node-join", map[string]any{"node": ev.Node})
+		}
+	}
+	for _, ev := range f.events {
+		if ev.Kind == scenario.FleetNodeFail && ev.Start == f.round {
+			f.failNode(ev.Node)
+		}
+	}
+	for _, ev := range f.events {
+		if ev.Kind == scenario.JobDepart && ev.Start == f.round {
+			f.departJob(ev.Job)
+		}
+	}
+}
+
+// failNode removes a node from the fleet and shrinks (or suspends) the
+// tenant placed on it.
+func (f *runner) failNode(node int) {
+	owner, err := f.table.Fail(node)
+	if err != nil {
+		f.note("node-fail-ignored", map[string]any{"node": node, "reason": err.Error()})
+		return
+	}
+	f.note("node-fail", map[string]any{"node": node, "owner": owner})
+	if owner < 0 {
+		return
+	}
+	t := f.tenants[owner]
+	shrunk := t.lease.Without(node)
+	if shrunk.NodeCount() >= t.min {
+		if plan, perr := f.planFor(t, shrunk); perr == nil {
+			reason := fmt.Sprintf("node %d failed: lease shrinks to %d nodes", node, shrunk.NodeCount())
+			if rerr := t.job.Resize(shrunk, plan, reason); rerr == nil {
+				t.lease = shrunk
+				t.resizes++
+				f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
+				return
+			}
+		}
+	}
+	// The survivor set cannot run the job: suspend it. Progress (DFS
+	// checkpoints, optimizer state) stays with the runtime; the tenant
+	// rejoins the queue ahead of never-started jobs and resumes when
+	// capacity returns.
+	f.table.Release(t.id)
+	t.lease = cluster.Lease{}
+	t.state = stateQueued
+	f.requeueFront(t)
+	f.note("job-suspend", map[string]any{"job": t.id})
+}
+
+// requeueFront inserts a suspended tenant before every never-started
+// entry, keeping suspended tenants among themselves in id order.
+func (f *runner) requeueFront(t *tenant) {
+	at := 0
+	for at < len(f.queue) && f.queue[at].started >= 0 && f.queue[at].id < t.id {
+		at++
+	}
+	f.queue = append(f.queue, nil)
+	copy(f.queue[at+1:], f.queue[at:])
+	f.queue[at] = t
+}
+
+// departJob terminates tenant id at this round.
+func (f *runner) departJob(id int) {
+	if id < 0 || id >= len(f.tenants) || f.tenants[id].state == stateDone {
+		f.note("job-depart-ignored", map[string]any{"job": id})
+		return
+	}
+	t := f.tenants[id]
+	if t.state == stateQueued {
+		for i, q := range f.queue {
+			if q == t {
+				f.queue = append(f.queue[:i], f.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	f.retire(t, true)
+	f.note("job-depart", map[string]any{"job": id})
+}
+
+// retire finalises a tenant and frees its lease.
+func (f *runner) retire(t *tenant, departed bool) {
+	if t.job != nil && t.result == nil {
+		t.result = t.job.Finish()
+	}
+	f.table.Release(t.id)
+	t.lease = cluster.Lease{}
+	t.state = stateDone
+	t.finished = f.round
+	t.departed = departed
+	f.retired++
+}
+
+// planFor asks the shared cache for the tenant's plan at a lease
+// size. All instances of a template share the template's spec (same
+// profiler pointer, same model and batch geometry), so equal lease
+// sizes fingerprint identically — K identical tenants pay for one
+// §4.3 search and K-1 cache hits.
+func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error) {
+	spec := t.cfg.Spec
+	spec.Cluster = l.Subcluster(f.cfg.Cluster)
+	spec.MaxGPUs = 0
+	return f.cache.Plan(f.ctx, spec)
+}
+
+// admit places queued tenants in strict FIFO order until the head
+// cannot be placed.
+func (f *runner) admit() {
+	for len(f.queue) > 0 {
+		t := f.queue[0]
+		grant := f.grantSize(t)
+		if grant < t.min && f.cfg.Policy == FairShare {
+			f.shrinkToAdmit(t)
+			grant = f.grantSize(t)
+		}
+		if grant < t.min {
+			return // strict FIFO: the head blocks the queue
+		}
+		free := f.table.Free()
+		lease := cluster.NewLease(free[:grant]...)
+		if err := f.place(t, lease); err != nil {
+			// Unplannable at its granted size (model too big for
+			// MinNodes, degenerate batch geometry): the job can never
+			// run — fail it and keep the queue moving.
+			f.queue = f.queue[1:]
+			t.err = err
+			f.retire(t, false)
+			f.note("job-rejected", map[string]any{"job": t.id, "reason": err.Error()})
+			continue
+		}
+		f.queue = f.queue[1:]
+		f.admitted++
+	}
+}
+
+// grantSize sizes the head tenant's lease under the policy.
+func (f *runner) grantSize(t *tenant) int {
+	free := f.table.FreeCount()
+	switch f.cfg.Policy {
+	case FairShare:
+		healthy := f.table.Nodes() - len(f.table.Failed())
+		target := fairTarget(healthy, f.runningCount()+1)
+		return clamp(target, t.min, minInt(t.max, free))
+	default:
+		return minInt(t.max, free)
+	}
+}
+
+// place grants the lease: a fresh tenant builds its runtime and Job, a
+// suspended one resumes through a costed lease resize.
+func (f *runner) place(t *tenant, lease cluster.Lease) error {
+	plan, err := f.planFor(t, lease)
+	if err != nil {
+		return err
+	}
+	if t.rt == nil {
+		tcfg := t.cfg
+		l := lease
+		tcfg.Lease = &l
+		tcfg.Plan = plan
+		// Tracing is fleet-owned: a template Trace shared by K tenants
+		// would interleave their lanes nondeterministically, so it is
+		// replaced by a private per-job trace (Config.Trace on) or
+		// dropped (off).
+		tcfg.Trace = nil
+		if f.cfg.Trace {
+			t.trace = metrics.NewTrace()
+			tcfg.Trace = t.trace
+		}
+		rt, err := trainer.New(tcfg)
+		if err != nil {
+			return err
+		}
+		job, err := rt.NewJob(t.iters)
+		if err != nil {
+			return err
+		}
+		t.rt, t.job = rt, job
+		t.strategy = plan.Strategy
+	} else {
+		if err := t.job.Resize(lease, plan, fmt.Sprintf("resumed on %d nodes", lease.NodeCount())); err != nil {
+			return err
+		}
+		t.resizes++
+	}
+	if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
+		return err
+	}
+	t.lease = lease
+	t.state = stateRunning
+	if t.started < 0 {
+		t.started = f.round
+	}
+	f.note("job-start", map[string]any{"job": t.id, "nodes": lease.NodeCount(), "strategy": plan.Strategy})
+	return nil
+}
+
+// shrinkToAdmit frees capacity for a starved queue head by shrinking
+// running tenants above their fair share, in submission order.
+func (f *runner) shrinkToAdmit(head *tenant) {
+	needed := head.min - f.table.FreeCount()
+	if needed <= 0 {
+		return
+	}
+	healthy := f.table.Nodes() - len(f.table.Failed())
+	for _, t := range f.tenants {
+		if needed <= 0 {
+			return
+		}
+		if t.state != stateRunning {
+			continue
+		}
+		floor := clamp(fairTarget(healthy, f.runningCount()+1), t.min, t.max)
+		excess := t.lease.NodeCount() - floor
+		if excess <= 0 {
+			continue
+		}
+		drop := minInt(excess, needed)
+		// Drop the highest-index nodes: deterministic, and it keeps
+		// low-index nodes packed.
+		dropNodes := append([]int(nil), t.lease.Nodes[len(t.lease.Nodes)-drop:]...)
+		shrunk := cluster.NewLease(t.lease.Nodes[:len(t.lease.Nodes)-drop]...)
+		plan, err := f.planFor(t, shrunk)
+		if err != nil {
+			continue
+		}
+		reason := fmt.Sprintf("fair-share shrink to %d nodes to admit %s", shrunk.NodeCount(), head.name)
+		if err := t.job.Resize(shrunk, plan, reason); err != nil {
+			continue
+		}
+		if err := f.table.ReleaseNodes(t.id, dropNodes); err != nil {
+			// Table and tenant state diverged: fail loudly via the
+			// tenant rather than corrupting accounting.
+			t.err = err
+			f.retire(t, false)
+			continue
+		}
+		t.lease = shrunk
+		t.resizes++
+		needed -= drop
+		f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
+	}
+}
+
+// growToShare grows running tenants toward their fair share (clamped
+// to MaxNodes) from the free pool — the elastic response to capacity
+// freed by completions, departures and rejoins.
+func (f *runner) growToShare() {
+	healthy := f.table.Nodes() - len(f.table.Failed())
+	running := f.runningCount()
+	for _, t := range f.tenants {
+		if t.state != stateRunning {
+			continue
+		}
+		free := f.table.Free()
+		if len(free) == 0 {
+			return
+		}
+		target := clamp(fairTarget(healthy, running), t.min, t.max)
+		take := minInt(target-t.lease.NodeCount(), len(free))
+		if take <= 0 {
+			continue
+		}
+		grown := cluster.NewLease(append(append([]int(nil), t.lease.Nodes...), free[:take]...)...)
+		plan, err := f.planFor(t, grown)
+		if err != nil {
+			continue
+		}
+		reason := fmt.Sprintf("fair-share grow to %d nodes", grown.NodeCount())
+		if err := t.job.Resize(grown, plan, reason); err != nil {
+			continue
+		}
+		if err := f.table.Acquire(t.id, free[:take]); err != nil {
+			t.err = err
+			f.retire(t, false)
+			continue
+		}
+		t.lease = grown
+		t.resizes++
+		f.note("lease-grow", map[string]any{"job": t.id, "nodes": grown.NodeCount()})
+	}
+}
+
+// running returns the running tenants in submission order.
+func (f *runner) running() []*tenant {
+	var out []*tenant
+	for _, t := range f.tenants {
+		if t.state == stateRunning {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (f *runner) runningCount() int { return len(f.running()) }
+
+// stepRunning advances every running tenant by one training iteration
+// (or one recovery rewind), fanned out over the bounded worker pool.
+// Each tenant's Step touches only its own state, and outcomes land in
+// per-tenant slots, so the fan-out is deterministic at any pool size.
+func (f *runner) stepRunning() {
+	run := f.running()
+	if len(run) == 0 {
+		return
+	}
+	workers := f.cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(run) {
+		workers = len(run)
+	}
+	if workers <= 1 {
+		for _, t := range run {
+			t.stepErr = t.job.Step()
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(run) {
+						return
+					}
+					run[i].stepErr = run[i].job.Step()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, t := range run {
+		if t.stepErr != nil {
+			t.err = t.stepErr
+			f.retire(t, false)
+			f.note("job-failed", map[string]any{"job": t.id, "reason": t.stepErr.Error()})
+		}
+	}
+}
+
+// completeFinished finalises tenants whose run is done and frees their
+// leases for next round's admissions and growth.
+func (f *runner) completeFinished() {
+	for _, t := range f.tenants {
+		if t.state == stateRunning && t.job.Done() {
+			f.retire(t, false)
+			f.note("job-done", map[string]any{"job": t.id})
+		}
+	}
+}
+
+// starveQueue finalises queued tenants that can never be placed: no
+// running tenant will free capacity and no future event can add any.
+func (f *runner) starveQueue() {
+	for _, t := range f.queue {
+		t.err = fmt.Errorf("fleet: %s starved: %d free of %d nodes, needs %d",
+			t.name, f.table.FreeCount(), f.table.Nodes(), t.min)
+		f.retire(t, false)
+		f.note("job-starved", map[string]any{"job": t.id})
+	}
+	f.queue = nil
+}
+
+// roundInfo snapshots the lease table for observers.
+func (f *runner) roundInfo() RoundInfo {
+	info := RoundInfo{
+		Round:  f.round,
+		Free:   f.table.Free(),
+		Failed: f.table.Failed(),
+		Leases: map[int][]int{},
+	}
+	for _, t := range f.tenants {
+		if nodes := f.table.LeasedBy(t.id); len(nodes) > 0 {
+			info.Leases[t.id] = nodes
+		}
+	}
+	return info
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

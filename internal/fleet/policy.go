@@ -1,0 +1,70 @@
+package fleet
+
+import "fmt"
+
+// Policy selects how the fleet sizes and rebalances leases. Admission
+// order is strict FIFO under both policies — a queued head that cannot
+// be placed blocks the queue (no backfilling), so admission latency is
+// predictable and deterministic.
+type Policy int
+
+const (
+	// FIFO is the greedy baseline: each admitted job takes
+	// min(MaxNodes, free) nodes and keeps that lease until it
+	// completes, departs, or loses nodes to failures. Capacity freed by
+	// completions serves the queue, never running tenants.
+	FIFO Policy = iota
+	// FairShare adds elasticity on top of FIFO admission: tenants are
+	// sized toward an equal share of the healthy fleet (clamped to
+	// their [MinNodes, MaxNodes] range), running tenants above their
+	// share shrink to admit a starved queue head, and capacity freed by
+	// completions or failures grows running tenants back toward their
+	// share — each change applied as the trainer's costed
+	// checkpoint-reconfigure.
+	FairShare
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case FairShare:
+		return "fair-share"
+	}
+	return fmt.Sprintf("fleet.Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the CLI names (fifo, fair-share/fair) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "fair-share", "fair":
+		return FairShare, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want fifo or fair-share)", s)
+}
+
+// fairTarget is the equal share of the healthy fleet across active
+// tenants, at least 1.
+func fairTarget(healthyNodes, tenants int) int {
+	if tenants < 1 {
+		tenants = 1
+	}
+	t := healthyNodes / tenants
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// clamp bounds v to [lo, hi] (hi wins when the interval is empty).
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}

@@ -2,7 +2,10 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -73,6 +76,45 @@ func (t *Trace) Events() []TraceEvent {
 	return append([]TraceEvent(nil), t.events...)
 }
 
+// MaxPID returns the highest process ID any recorded event uses (0 for
+// an empty trace) — the lane width a merge must step over.
+func (t *Trace) MaxPID() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := 0
+	for _, ev := range t.events {
+		if ev.PID > max {
+			max = ev.PID
+		}
+	}
+	return max
+}
+
+// AppendOffset merges another trace into this one as a block of
+// private lanes: every event of src is appended in order with its PID
+// shifted by pidBase, and process_name metadata gets the given prefix
+// so lanes stay attributable after the merge. The fleet runtime uses
+// it to fold per-job timelines into one fleet Chrome trace — job j's
+// lanes land at [base_j, base_j + MaxPID_j], disjoint from every other
+// tenant's. Deterministic: same src contents and arguments, same
+// appended events.
+func (t *Trace) AppendOffset(src *Trace, pidBase int, prefix string) {
+	for _, ev := range src.Events() {
+		ev.PID += pidBase
+		if ev.Ph == "M" && ev.Name == "process_name" && prefix != "" {
+			args := make(map[string]any, len(ev.Args))
+			for k, v := range ev.Args {
+				args[k] = v
+			}
+			if name, ok := args["name"].(string); ok {
+				args["name"] = prefix + name
+			}
+			ev.Args = args
+		}
+		t.add(ev)
+	}
+}
+
 // WriteJSON emits the Chrome trace file ({"traceEvents": [...]}).
 func (t *Trace) WriteJSON(w io.Writer) error {
 	t.mu.Lock()
@@ -85,4 +127,45 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	return enc.Encode(struct {
 		TraceEvents []TraceEvent `json:"traceEvents"`
 	}{events})
+}
+
+// WriteJSONFile writes the trace to path atomically: the JSON is
+// encoded into a temporary file in the same directory and renamed into
+// place only after a successful encode+sync, so a failure mid-write
+// never leaves a truncated or corrupt timeline behind (the bare
+// os.Create + encode it replaces did exactly that).
+func (t *Trace) WriteJSONFile(path string) error {
+	return WriteFileAtomic(path, t.WriteJSON)
+}
+
+// WriteFileAtomic streams write's output into a temporary file next to
+// path and renames it into place on success. On any failure the
+// temporary file is removed and the destination is left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("metrics: atomic write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("metrics: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("metrics: atomic write %s: %w", path, err)
+	}
+	return nil
 }

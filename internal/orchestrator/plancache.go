@@ -1,0 +1,139 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"disttrain/internal/profiler"
+)
+
+// PlanCache is the planning-as-a-service layer the multi-tenant fleet
+// runtime sits on: a fingerprint-keyed cache of §4.3 search results
+// with singleflight evaluation. A production cluster serves a stream
+// of training jobs (§7), and a stream is repetitive — K concurrent
+// jobs with identical specs (same model, batch geometry, lease size,
+// calibrated profile) would each pay the full strategy enumeration,
+// the planner's hot path (Table 3). The cache collapses them: the
+// first caller runs PlanDistTrainCtx, every concurrent or later
+// caller with the same fingerprint blocks on (or reuses) that one
+// search. Lease resizes hit the same cache, so growing back to a
+// previously planned size is free.
+//
+// Fingerprints cover every spec field the search reads: the cluster
+// shape and fabric, the model architecture, batch geometry, GPU
+// budget, VPP, and the profiler (by identity — see fingerprint).
+// Plans are returned as private copies, so tenants can never alias
+// each other's orchestration decision.
+type PlanCache struct {
+	opts SearchOptions
+
+	mu      sync.Mutex
+	entries map[string]*planEntry
+	// profIDs names profilers by pointer identity: a Profiler's
+	// calibration is not cheaply hashable, and fleet tenants built from
+	// one template share the profiler pointer. Distinct profilers with
+	// identical calibrations therefore miss — correct, just not
+	// maximally shared. IDs are assigned in first-seen order, which is
+	// deterministic because the fleet admits jobs deterministically.
+	profIDs map[*profiler.Profiler]int
+
+	searches atomic.Int64
+	hits     atomic.Int64
+}
+
+// planEntry is one fingerprint's singleflight slot.
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+// NewPlanCache builds an empty cache; opts tunes every search it runs
+// (the chosen plans are independent of opts.Parallelism).
+func NewPlanCache(opts SearchOptions) *PlanCache {
+	return &PlanCache{
+		opts:    opts,
+		entries: make(map[string]*planEntry),
+		profIDs: make(map[*profiler.Profiler]int),
+	}
+}
+
+// fingerprint derives the cache key for a spec. Cluster node identity
+// is not part of a Spec, so two leases of equal size over different
+// nodes fingerprint identically — placement never changes the cost
+// model, only counts do.
+func (c *PlanCache) fingerprint(s Spec) string {
+	c.mu.Lock()
+	id, ok := c.profIDs[s.Profiler]
+	if !ok {
+		id = len(c.profIDs)
+		c.profIDs[s.Profiler] = id
+	}
+	c.mu.Unlock()
+	return fmt.Sprintf("cl=%+v model=%+v bs=%d m=%d max=%d vpp=%d prof=%d",
+		s.Cluster, s.Model, s.GlobalBatch, s.Microbatch, s.MaxGPUs, s.VPP, id)
+}
+
+// Plan returns the §4.3 plan for the spec, running the search at most
+// once per fingerprint: concurrent callers with the same fingerprint
+// share a single evaluation (singleflight), and later callers reuse
+// the stored outcome. Infeasibility errors are cached too — a spec
+// that cannot be planned today cannot be planned by retrying — but a
+// search cut short by the caller's context (cancellation, deadline)
+// is evicted, so a later caller with a healthy context retries
+// instead of inheriting the poisoned entry. The returned plan is a
+// private copy.
+func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
+	key := c.fingerprint(s)
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &planEntry{}
+			c.entries[key] = e
+		}
+		c.mu.Unlock()
+		if ok {
+			c.hits.Add(1)
+		}
+		e.once.Do(func() {
+			c.searches.Add(1)
+			e.plan, e.err = PlanDistTrainCtx(ctx, s, c.opts)
+		})
+		if e.err == nil {
+			cp := *e.plan // Plan holds no reference types: a value copy is private
+			return &cp, nil
+		}
+		if !errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded) {
+			return nil, e.err
+		}
+		// The search was cut short by a context — possibly another
+		// caller's. Evict the poisoned entry; a caller whose own
+		// context is still healthy retries (and leads the next
+		// singleflight under it), everyone else propagates the error.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		if ctx.Err() != nil {
+			return nil, e.err
+		}
+	}
+}
+
+// Searches returns how many real plan searches the cache ran; Hits how
+// many calls were served by an existing fingerprint (including callers
+// that blocked on an in-flight search).
+func (c *PlanCache) Searches() int64 { return c.searches.Load() }
+func (c *PlanCache) Hits() int64     { return c.hits.Load() }
+
+// Len returns the number of distinct fingerprints planned so far.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

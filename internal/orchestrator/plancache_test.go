@@ -1,0 +1,135 @@
+package orchestrator
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/data"
+	"disttrain/internal/model"
+	"disttrain/internal/profiler"
+)
+
+func cacheSpec(t *testing.T, nodes, bs int) Spec {
+	t.Helper()
+	cl := cluster.Production(nodes)
+	p, err := profiler.New(profiler.DefaultOptions(cl, model.MLLM9B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Calibrate(corpus, 120); err != nil {
+		t.Fatal(err)
+	}
+	return Spec{Cluster: cl, Model: model.MLLM9B(), GlobalBatch: bs, Microbatch: 1, Profiler: p, VPP: 1}
+}
+
+// TestPlanCacheSingleflight pins the cache contract: K concurrent
+// callers with one fingerprint run exactly one search, every caller
+// gets the same (correct) plan, and each caller owns a private copy.
+func TestPlanCacheSingleflight(t *testing.T) {
+	spec := cacheSpec(t, 4, 32)
+	want, err := PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPlanCache(SearchOptions{})
+	const k = 8
+	plans := make([]*Plan, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i], errs[i] = c.Plan(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(plans[i], want) {
+			t.Fatalf("caller %d got a different plan than the direct search", i)
+		}
+	}
+	if got := c.Searches(); got != 1 {
+		t.Errorf("%d concurrent callers ran %d searches, want 1", k, got)
+	}
+	if c.Searches()+c.Hits() != k {
+		t.Errorf("searches %d + hits %d != %d calls", c.Searches(), c.Hits(), k)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d fingerprints, want 1", c.Len())
+	}
+	// Copies are private: mutating one caller's plan must not leak.
+	plans[0].Strategy = "mutated"
+	again, err := c.Plan(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Strategy == "mutated" {
+		t.Error("cache handed out a shared plan pointer")
+	}
+}
+
+// TestPlanCacheFingerprintDiscriminates: different cluster sizes,
+// batch geometry, VPP or profilers must miss each other.
+func TestPlanCacheFingerprintDiscriminates(t *testing.T) {
+	base := cacheSpec(t, 4, 32)
+	c := NewPlanCache(SearchOptions{})
+	ctx := context.Background()
+	if _, err := c.Plan(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+
+	smaller := base
+	smaller.Cluster.Nodes = 2
+	if _, err := c.Plan(ctx, smaller); err != nil {
+		t.Fatal(err)
+	}
+	bigger := base
+	bigger.GlobalBatch = 64
+	if _, err := c.Plan(ctx, bigger); err != nil {
+		t.Fatal(err)
+	}
+	other := cacheSpec(t, 4, 32) // fresh profiler pointer: distinct tenant profile
+	if _, err := c.Plan(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Searches(); got != 4 {
+		t.Errorf("4 distinct fingerprints ran %d searches", got)
+	}
+	// And the same spec again is a pure hit.
+	hits := c.Hits()
+	if _, err := c.Plan(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != hits+1 || c.Searches() != 4 {
+		t.Errorf("repeat call: searches %d hits %d", c.Searches(), c.Hits())
+	}
+}
+
+// TestPlanCacheCachesErrors: an unplannable spec fails once and the
+// failure is reused — retrying cannot make a cluster bigger.
+func TestPlanCacheCachesErrors(t *testing.T) {
+	spec := cacheSpec(t, 4, 32)
+	spec.Model = model.MLLM72B() // 72B on 4 nodes: no feasible plan
+	c := NewPlanCache(SearchOptions{})
+	ctx := context.Background()
+	if _, err := c.Plan(ctx, spec); err == nil {
+		t.Fatal("72B planned on 4 nodes")
+	}
+	if _, err := c.Plan(ctx, spec); err == nil {
+		t.Fatal("cached failure lost")
+	}
+	if c.Searches() != 1 {
+		t.Errorf("failed search ran %d times", c.Searches())
+	}
+}

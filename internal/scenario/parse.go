@@ -17,19 +17,26 @@ import (
 //	failure:iter=5,downtime=30
 //	producer-fail:iter=2,producer=1
 //	producer-join:iter=4,producer=1
+//	job-arrive:iter=2,job=1
+//	job-depart:iter=5,job=0
+//	node-fail:iter=3,node=2
+//	node-join:iter=6,node=2
 //	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
 //
 // Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
 // `iter=N` is shorthand for a single iteration (and the only form the
-// fire-once kinds — failure, producer-fail, producer-join — accept).
-// Each kind accepts only the keys that affect it: `rank`, `stage`,
-// `from` and `until` belong to straggler; `factor` to the windowed
-// kinds; `downtime` to failure; `producer` to producer-fail /
-// producer-join. Duplicate keys are rejected. `rank`/`stage` default
-// to -1 (all); `factor` defaults to 2; failure `downtime` defaults to
-// 30 simulated seconds; `producer` defaults to 0. `random-stragglers`
-// must be the only event in its spec — it is a generator, not a timed
-// event.
+// fire-once kinds — failure, producer-fail, producer-join, and the
+// fleet-scope job-arrive / job-depart / node-fail / node-join —
+// accept; for fleet kinds `iter` is a fleet scheduling round). Each
+// kind accepts only the keys that affect it: `rank`, `stage`, `from`
+// and `until` belong to straggler; `factor` to the windowed kinds;
+// `downtime` to failure; `producer` to producer-fail / producer-join;
+// `job` to job-arrive / job-depart; `node` to node-fail / node-join.
+// Duplicate keys are rejected. `rank`/`stage` default to -1 (all);
+// `factor` defaults to 2; failure `downtime` defaults to 30 simulated
+// seconds; `producer`, `job` and `node` default to 0.
+// `random-stragglers` must be the only event in its spec — it is a
+// generator, not a timed event.
 //
 // Every parse error names the offending event: `event %d: %q` with the
 // event's zero-based position in the spec and its raw text.
@@ -111,6 +118,10 @@ var eventKeys = map[Kind]string{
 	NodeFailure:       "downtime",
 	ProducerFail:      "producer",
 	ProducerJoin:      "producer",
+	JobArrive:         "job",
+	JobDepart:         "job",
+	FleetNodeFail:     "node",
+	FleetNodeJoin:     "node",
 }
 
 func keyAllowed(k Kind, key string) bool {
@@ -140,6 +151,14 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 		e.Kind = ProducerFail
 	case "producer-join":
 		e.Kind = ProducerJoin
+	case "job-arrive":
+		e.Kind = JobArrive
+	case "job-depart":
+		e.Kind = JobDepart
+	case "node-fail":
+		e.Kind = FleetNodeFail
+	case "node-join":
+		e.Kind = FleetNodeJoin
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)
 	}
@@ -178,6 +197,10 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 			e.Downtime, err = strconv.ParseFloat(v, 64)
 		case "producer":
 			e.Producer, err = strconv.Atoi(v)
+		case "job":
+			e.Job, err = strconv.Atoi(v)
+		case "node":
+			e.Node, err = strconv.Atoi(v)
 		default:
 			return Event{}, fmt.Errorf("unknown key %q for %s", k, kind)
 		}

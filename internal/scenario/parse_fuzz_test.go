@@ -25,6 +25,12 @@ func FuzzScenarioParse(f *testing.F) {
 		"failure:iter=5,downtime=30",
 		"producer-fail:iter=2,producer=1",
 		"producer-join:iter=4,producer=1",
+		// Fleet-scope grammar (multi-tenant runtime).
+		"job-arrive:iter=2,job=1",
+		"job-depart:iter=5,job=0",
+		"node-fail:iter=3,node=2",
+		"node-join:iter=6,node=2",
+		"job-arrive:iter=0,job=1; node-fail:iter=2,node=0; node-join:iter=4,node=0",
 		"random-stragglers:seed=7,ranks=8,prob=0.3,max=3",
 		// Multi-event composition and whitespace tolerance.
 		"straggler:iters=2-4,rank=0,factor=3; failure:iter=6,downtime=20",
@@ -39,6 +45,9 @@ func FuzzScenarioParse(f *testing.F) {
 		"straggler:iter=1,factor=2,factor=3",
 		"failure:iters=2-5",
 		"congestion:iter=1,rank=0",
+		"job-arrive:iters=2-5",
+		"node-fail:iter=1,job=0",
+		"job-depart:iter=1,node=-1",
 		":iter=1",
 		"straggler:",
 		"straggler:iter",

@@ -61,6 +61,26 @@ const (
 	// front-end (live producer pools own their preprocessing and do not
 	// observe scenarios).
 	WorkloadShift
+	// JobArrive submits one more instance of fleet job spec Job to the
+	// multi-tenant fleet runtime's admission queue at round Start — the
+	// production stream of training jobs (§7) made explicit. Fleet
+	// scope: the trainer ignores it. Fires once.
+	JobArrive
+	// JobDepart terminates admitted fleet job Job at round Start: its
+	// lease is released and its result finalised with the iterations it
+	// completed. Fleet scope; fires once.
+	JobDepart
+	// FleetNodeFail removes node Node from the shared fleet at round
+	// Start: every job whose lease places it on that node shrinks — a
+	// costed lease reconfiguration — and the node stays out until a
+	// matching node-join. Unlike the job-level NodeFailure (which kills
+	// one run and restores its checkpoint), this hits every tenant
+	// placed on the node. Fleet scope; fires once.
+	FleetNodeFail
+	// FleetNodeJoin returns failed node Node to the shared fleet at
+	// round Start; freed capacity flows to queued and elastic jobs.
+	// Fleet scope; fires once.
+	FleetNodeJoin
 )
 
 func (k Kind) String() string {
@@ -79,6 +99,14 @@ func (k Kind) String() string {
 		return "producer-join"
 	case WorkloadShift:
 		return "workload-shift"
+	case JobArrive:
+		return "job-arrive"
+	case JobDepart:
+		return "job-depart"
+	case FleetNodeFail:
+		return "node-fail"
+	case FleetNodeJoin:
+		return "node-join"
 	}
 	return fmt.Sprintf("scenario.Kind(%d)", int(k))
 }
@@ -86,7 +114,19 @@ func (k Kind) String() string {
 // fireOnce reports whether the kind fires exactly once, at Start,
 // rather than covering an iteration window.
 func (k Kind) fireOnce() bool {
-	return k == NodeFailure || k == ProducerFail || k == ProducerJoin
+	return k == NodeFailure || k == ProducerFail || k == ProducerJoin || k.FleetScope()
+}
+
+// FleetScope reports whether the kind addresses the multi-tenant fleet
+// runtime (job arrivals/departures, fleet node membership) rather than
+// one training run's cost model. The trainer ignores fleet-scope
+// events; internal/fleet consumes them through FleetEvents.
+func (k Kind) FleetScope() bool {
+	switch k {
+	case JobArrive, JobDepart, FleetNodeFail, FleetNodeJoin:
+		return true
+	}
+	return false
 }
 
 // Event is one timed perturbation. Iteration windows are half-open:
@@ -113,6 +153,12 @@ type Event struct {
 	// Producer is the pool-member index a ProducerFail / ProducerJoin
 	// event targets.
 	Producer int
+	// Job is the fleet job index a JobArrive (job-spec index) or
+	// JobDepart (admitted-job index) event targets.
+	Job int
+	// Node is the shared-fleet node index a FleetNodeFail /
+	// FleetNodeJoin event targets.
+	Node int
 }
 
 // MaxFactor bounds every slowdown / scale multiplier. Factors beyond
@@ -123,7 +169,7 @@ const MaxFactor = 1e9
 
 // Validate checks one event.
 func (e Event) Validate() error {
-	if e.Kind < Straggler || e.Kind > WorkloadShift {
+	if e.Kind < Straggler || e.Kind > FleetNodeJoin {
 		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
 	}
 	if e.Start < 0 {
@@ -148,6 +194,12 @@ func (e Event) Validate() error {
 	}
 	if (e.Kind == ProducerFail || e.Kind == ProducerJoin) && e.Producer < 0 {
 		return fmt.Errorf("scenario: %s producer %d negative", e.Kind, e.Producer)
+	}
+	if (e.Kind == JobArrive || e.Kind == JobDepart) && e.Job < 0 {
+		return fmt.Errorf("scenario: %s job %d negative", e.Kind, e.Job)
+	}
+	if (e.Kind == FleetNodeFail || e.Kind == FleetNodeJoin) && e.Node < 0 {
+		return fmt.Errorf("scenario: %s node %d negative", e.Kind, e.Node)
 	}
 	return nil
 }
@@ -187,6 +239,14 @@ func New(name string, events ...Event) (*Schedule, error) {
 
 // Name implements Scenario.
 func (s *Schedule) Name() string { return s.name }
+
+// Events returns a copy of the schedule's full event list, in schedule
+// order. The fleet runtime uses it to enumerate fleet-scope events
+// eagerly — a fixed schedule, unlike a generator, has a knowable last
+// round.
+func (s *Schedule) Events() []Event {
+	return append([]Event(nil), s.events...)
+}
 
 // EventsAt implements Scenario.
 func (s *Schedule) EventsAt(iter int) []Event {
@@ -257,11 +317,14 @@ func At(s Scenario, iter int) Perturbation {
 // Pool-membership events (producer-fail / producer-join) do not count:
 // they change which producers serve fetches, not what any iteration
 // costs — with a healthy pool the run's results are identical, which
-// is the elasticity property the trainer's pool test pins.
+// is the elasticity property the trainer's pool test pins. Fleet-scope
+// events do not count either: they address the fleet scheduler, never
+// one run's cost model.
 func (p Perturbation) Steady() bool {
 	for _, e := range p.events {
-		switch e.Kind {
-		case ProducerFail, ProducerJoin:
+		switch {
+		case e.Kind == ProducerFail || e.Kind == ProducerJoin:
+		case e.Kind.FleetScope():
 		default:
 			return false
 		}
@@ -275,6 +338,18 @@ func (p Perturbation) PoolEvents() []Event {
 	var out []Event
 	for _, e := range p.events {
 		if e.Kind == ProducerFail || e.Kind == ProducerJoin {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FleetEvents returns the round's fleet-scope events (job-arrive,
+// job-depart, node-fail, node-join), in schedule order.
+func (p Perturbation) FleetEvents() []Event {
+	var out []Event
+	for _, e := range p.events {
+		if e.Kind.FleetScope() {
 			out = append(out, e)
 		}
 	}

@@ -399,3 +399,65 @@ func TestParseErrorsCarryEventContext(t *testing.T) {
 		}
 	}
 }
+
+// TestParseFleetEvents covers the fleet-scope grammar: job-arrive,
+// job-depart, node-fail and node-join parse as fire-once events with
+// their target keys; the trainer-facing resolution treats them as
+// steady (they address the fleet scheduler, not one run's cost model)
+// and FleetEvents surfaces them in schedule order.
+func TestParseFleetEvents(t *testing.T) {
+	sc, err := Parse("job-arrive:iter=2,job=1; node-fail:iter=2,node=3; node-join:iter=4,node=3; job-depart:iter=5,job=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, ok := sc.(*Schedule)
+	if !ok {
+		t.Fatalf("Parse returned %T, want *Schedule", sc)
+	}
+	evs := sched.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	want := []struct {
+		kind Kind
+		job  int
+		node int
+	}{
+		{JobArrive, 1, 0}, {FleetNodeFail, 0, 3}, {FleetNodeJoin, 0, 3}, {JobDepart, 0, 0},
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Job != w.job || evs[i].Node != w.node {
+			t.Errorf("event %d = %+v, want kind %v job %d node %d", i, evs[i], w.kind, w.job, w.node)
+		}
+		if !w.kind.FleetScope() || !w.kind.fireOnce() {
+			t.Errorf("%v should be fleet-scope and fire-once", w.kind)
+		}
+	}
+
+	// Round 2 carries two fleet events; the trainer sees a steady
+	// iteration either way.
+	p := At(sc, 2)
+	if got := p.FleetEvents(); len(got) != 2 {
+		t.Errorf("FleetEvents at round 2 = %d, want 2", len(got))
+	}
+	if !p.Steady() {
+		t.Error("fleet events perturbed a training iteration")
+	}
+	if got := At(sc, 3).FleetEvents(); len(got) != 0 {
+		t.Errorf("FleetEvents at round 3 = %d, want 0", len(got))
+	}
+
+	// Fleet kinds are fire-once and reject windows and foreign keys.
+	for _, bad := range []string{
+		"job-arrive:iters=2-5",
+		"node-fail:iter=1,factor=2",
+		"job-depart:iter=1,node=0",
+		"node-join:iter=1,job=0",
+		"job-arrive:iter=1,job=-1",
+		"node-fail:iter=1,node=-2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

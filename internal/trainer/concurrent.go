@@ -1,7 +1,6 @@
 package trainer
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -327,208 +326,20 @@ func (r *Runtime) RunSequential(n int) (*Result, error) {
 	return r.runLoop(n, r.iterationSequential, false)
 }
 
+// runLoop drives a Job to completion: the loop body lives in
+// (*Job).Step so the fleet runtime can interleave many jobs over one
+// shared cluster; a standalone run is simply the 1-job schedule.
 func (r *Runtime) runLoop(n int, step func(preparedBatch) (IterationStats, error), prefetch bool) (*Result, error) {
-	if n <= 0 {
-		return nil, errors.New("trainer: need at least one iteration")
+	j, err := r.newJob(n, step, prefetch)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Strategy: r.cfg.Plan.Strategy, GPUs: r.cfg.Plan.TotalGPUs()}
-	var timeSum, usefulFlops float64
-	executedOnce := make(map[int]bool, n)
-	firedFailures := make(map[int]bool)
-	type poolEventKey struct {
-		kind            scenario.Kind
-		start, producer int
-	}
-	firedPool := make(map[poolEventKey]bool)
-	// The async data service: at most one outstanding prepare, consumed
-	// (or discarded, after a failure rewind) before the next launches.
-	var pendingIter int
-	var pending chan preparedBatch
-	fetch := func(i int) preparedBatch {
-		if pending != nil {
-			p := <-pending
-			pending = nil
-			if pendingIter == i {
-				return p
-			}
-		}
-		return r.prepare(i)
-	}
-	launch := func(i int) {
-		if !prefetch || i >= n {
-			return
-		}
-		ch := make(chan preparedBatch, 1)
-		go func() { ch <- r.prepare(i) }()
-		pending, pendingIter = ch, i
-	}
-
-	// firePoolEvents dispatches iteration iter's pool-membership
-	// events: producer-fail kills a live pool member (subsequent
-	// fetches fail over), producer-join restores one. Each event fires
-	// once, even across failure-recovery rewinds. It runs before the
-	// iteration's batch is fetched — for the prefetched path that
-	// means before launch(iter), one loop pass early — so an event at
-	// iteration N deterministically affects iteration N's fetches.
-	firePoolEvents := func(iter int) error {
-		for _, ev := range scenario.At(r.cfg.Scenario, iter).PoolEvents() {
-			key := poolEventKey{ev.Kind, ev.Start, ev.Producer}
-			if firedPool[key] {
-				continue
-			}
-			firedPool[key] = true
-			if pc := r.cfg.ProducerControl; pc != nil {
-				var err error
-				if ev.Kind == scenario.ProducerFail {
-					err = pc.FailProducer(ev.Producer)
-				} else {
-					err = pc.JoinProducer(ev.Producer)
-				}
-				if err != nil {
-					return fmt.Errorf("trainer: %s producer %d at iter %d: %w", ev.Kind, ev.Producer, iter, err)
-				}
-			}
-			if tr := r.cfg.Trace; tr != nil {
-				tr.Instant(ev.Kind.String(), "scenario", 0, r.clock, map[string]any{"iter": iter, "producer": ev.Producer})
-			}
-		}
-		return nil
-	}
-
-	var grad GradientAccumulator
-	if r.cfg.GradientDim > 0 {
-		grad = GradientAccumulator{Dim: r.cfg.GradientDim}
-		res.GradientSum = make([]int64, r.cfg.GradientDim)
-	}
-
-	// applySwitch reconfigures onto a controller-chosen plan at the
-	// boundary before iteration i: a costed plan switch (checkpoint
-	// write + restore read), with any prefetched batch discarded —
-	// its DP assignment was computed under the old geometry. An
-	// infeasible plan (the seam is public: a controller may hand back
-	// anything) rejects the switch and continues on the incumbent;
-	// only real runtime failures (checkpoint write errors) abort.
-	applySwitch := func(i int, sw *PlanSwitch) error {
-		if err := r.checkPlan(sw.Plan); err != nil {
-			if tr := r.cfg.Trace; tr != nil {
-				tr.Instant("replan-rejected", "controller", 0, r.clock,
-					map[string]any{"iter": i, "error": err.Error()})
-			}
-			return nil
-		}
-		if pending != nil {
-			<-pending
-			pending = nil
-		}
-		down, err := r.reconfigure(sw.Plan, i)
-		if err != nil {
-			return err
-		}
-		res.PlanSwitches++
-		res.DowntimeSeconds += down
-		res.Replans = append(res.Replans, Replan{
-			AppliedAt: i, Strategy: sw.Plan.Strategy, Reason: sw.Reason, Downtime: down,
-		})
-		if tr := r.cfg.Trace; tr != nil {
-			tr.Instant("replan", "controller", 0, r.clock,
-				map[string]any{"iter": i, "strategy": sw.Plan.Strategy, "reason": sw.Reason})
-			tr.Complete("reconfigure", "controller", 0, 0, r.clock, down)
-		}
-		r.clock += down
-		return nil
-	}
-
-	i := 0
-	for i < n {
-		pert := scenario.At(r.cfg.Scenario, i)
-		if err := firePoolEvents(i); err != nil {
+	for !j.Done() {
+		if err := j.Step(); err != nil {
 			return nil, err
 		}
-		// A node failure interrupts the iteration it lands on: pay the
-		// downtime, restore the latest DFS checkpoint, re-execute the
-		// iterations lost since it. Each failure event fires once.
-		if ev, ok := pert.Failure(); ok && !firedFailures[ev.Start] {
-			firedFailures[ev.Start] = true
-			resume, restore := r.recoverFromFailure()
-			down := ev.Downtime + restore
-			res.Failures++
-			res.DowntimeSeconds += down
-			res.ReExecutedIterations += i - resume
-			res.Recoveries = append(res.Recoveries, Recovery{FailedAt: i, ResumedFrom: resume, Downtime: down})
-			if tr := r.cfg.Trace; tr != nil {
-				tr.Instant("node-failure", "scenario", 0, r.clock, map[string]any{"iter": i})
-				tr.Complete("recovery", "scenario", 0, 0, r.clock, down)
-			}
-			r.clock += down
-			i = resume
-			continue
-		}
-		// The re-planning controller gets the boundary before the
-		// iteration: a scheduled concurrent plan search joins here and
-		// the switch (if any) applies as a costed reconfiguration.
-		if ctl := r.cfg.Controller; ctl != nil {
-			if sw := ctl.Pending(i); sw != nil && sw.Plan != nil {
-				if err := applySwitch(i, sw); err != nil {
-					return nil, err
-				}
-			}
-		}
-		p := fetch(i)
-		// The next iteration's pool events fire before its prefetch
-		// launches, so a producer killed "at iteration i+1" is dead for
-		// every one of iteration i+1's fetches.
-		if i+1 < n {
-			if err := firePoolEvents(i + 1); err != nil {
-				return nil, err
-			}
-		}
-		launch(i + 1)
-		st, err := step(p)
-		if err != nil {
-			return nil, err
-		}
-		res.Iterations = append(res.Iterations, st)
-		timeSum += st.Breakdown.Total()
-		if !executedOnce[i] {
-			executedOnce[i] = true
-			usefulFlops += st.FLOPs
-			if res.GradientSum != nil {
-				// Exact commutative accumulation over the global batch:
-				// re-executions (optimizer state rewound) count once.
-				g := grad.AccumulateInt(p.batch)
-				for k := range res.GradientSum {
-					res.GradientSum[k] += g[k]
-				}
-			}
-		}
-		if ctl := r.cfg.Controller; ctl != nil {
-			obs := Observation{Iter: i, Stats: st, Batch: p.batch}
-			if r.cfg.PoolStats != nil {
-				snap := r.cfg.PoolStats.Snapshot()
-				obs.Pool = &snap
-			}
-			ctl.Observe(obs)
-		}
-		i++
 	}
-
-	executed := float64(len(res.Iterations))
-	res.MeanIterTime = timeSum / executed
-	wall := timeSum + res.DowntimeSeconds
-	res.MFU = metrics.MFU(usefulFlops, res.GPUs, r.cfg.Spec.Cluster.GPU.PeakFLOPS, wall)
-	if res.Failures == 0 && res.PlanSwitches == 0 {
-		res.TokensPerSec = metrics.Throughput(r.cfg.Spec.GlobalBatch, r.cfg.Spec.Model.SeqLen, res.MeanIterTime)
-	} else {
-		// Useful tokens over total wall-clock: redone iterations,
-		// recovery downtime and reconfiguration downtime all cost
-		// throughput — they don't produce tokens twice (or at all).
-		res.TokensPerSec = float64(n) * float64(r.cfg.Spec.GlobalBatch) * float64(r.cfg.Spec.Model.SeqLen) / wall
-	}
-	if r.ckpt != nil {
-		r.ckpt.Flush()
-		res.CheckpointsSaved = r.ckpt.Saved()
-	}
-	return res, nil
+	return j.Finish(), nil
 }
 
 // recoverFromFailure finds the resume point after a node failure. The

@@ -64,6 +64,19 @@ type Controller interface {
 	Pending(iter int) *PlanSwitch
 }
 
+// LeaseAware is the optional Controller extension for fleet-leased
+// jobs: when the fleet scheduler resizes a job's GPU lease, the
+// runtime reconfigures (the costed checkpoint-reconfigure path) and
+// then notifies a LeaseAware controller with the new effective spec —
+// whose Cluster is the resized lease's subcluster — and the plan now
+// executing. Controllers must treat the change as a new normal: the
+// re-planning problem, the incumbent plan and any drift baseline all
+// moved. Called from the run-loop goroutine at the same boundary the
+// reconfiguration applied.
+type LeaseAware interface {
+	LeaseChanged(iter int, spec orchestrator.Spec, plan *orchestrator.Plan)
+}
+
 // Replan records one applied mid-run reconfiguration.
 type Replan struct {
 	// AppliedAt is the iteration the new plan took effect before.

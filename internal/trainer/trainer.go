@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 
+	"disttrain/internal/cluster"
 	"disttrain/internal/comm"
 	"disttrain/internal/data"
 	"disttrain/internal/dfs"
@@ -58,6 +59,15 @@ type Config struct {
 	Spec   orchestrator.Spec
 	Plan   *orchestrator.Plan
 	Corpus *data.Corpus
+
+	// Lease, when non-nil, scopes the run to the leased nodes of
+	// Spec.Cluster instead of letting it implicitly own the whole
+	// fleet: the runtime prices collectives, checkpoints and plans
+	// against the lease's subcluster, and the fleet scheduler
+	// (internal/fleet) may grow or shrink the lease mid-run through
+	// (*Job).Resize. Nil is the historical standalone behaviour —
+	// equivalent to a lease covering every node of Spec.Cluster.
+	Lease *cluster.Lease
 
 	// Reorder enables DistTrain's dual-level data reordering (§5); off,
 	// samples are consumed in corpus order (the Megatron-LM baseline of
@@ -293,6 +303,9 @@ type Runtime struct {
 	source BatchSource
 	ckpt   *dfs.CheckpointManager
 	fs     *dfs.FS
+	// base is the shared cluster a leased run was scoped out of; the
+	// zero value (standalone runs) is never read.
+	base cluster.Cluster
 	// stage geometry
 	stages   int
 	llmFirst int // index of first LLM stage
@@ -305,12 +318,28 @@ type Runtime struct {
 	namedRanks int
 }
 
-// New validates the config and builds a runtime.
+// New validates the config and builds a runtime. A leased config is
+// rescoped first: the runtime's effective cluster becomes the lease's
+// subcluster, so a job on an n-node lease executes byte-identically to
+// a standalone run on an n-node cluster.
 func New(cfg Config) (*Runtime, error) {
+	base := cfg.Spec.Cluster
+	if cfg.Lease != nil {
+		if err := cfg.Lease.Validate(base); err != nil {
+			return nil, err
+		}
+		lease := *cfg.Lease // defensive copy: Resize swaps the pointer
+		cfg.Lease = &lease
+		cfg.Spec.Cluster = lease.Subcluster(base)
+		cfg.Spec.MaxGPUs = 0
+		if cfg.Plan != nil && cfg.Plan.TotalGPUs() > lease.GPUs(base) {
+			return nil, fmt.Errorf("trainer: plan wants %d GPUs, lease holds %d", cfg.Plan.TotalGPUs(), lease.GPUs(base))
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Runtime{cfg: cfg.withDefaults()}
+	r := &Runtime{cfg: cfg.withDefaults(), base: base}
 	r.source = cfg.Source
 	if r.source == nil {
 		r.source = corpusFrontEnd{r}
