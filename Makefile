@@ -9,7 +9,7 @@ GO ?= go
 # change in.
 COVER_FLOOR ?= 73
 
-.PHONY: all build fmt vet test race bench bench-json fuzz cover ci
+.PHONY: all build fmt vet test race bench bench-json bench-diff fuzz cover ci
 
 all: build
 
@@ -43,10 +43,30 @@ bench:
 # baseline (ns/op per benchmark plus reported metrics such as
 # BenchmarkFleetThroughput's iters/s) in BENCH_fleet.json, written
 # atomically. Future PRs diff against it instead of eyeballing logs.
+# The fleet throughput benchmark is re-sampled BENCH_COUNT times at
+# BENCH_TIME iterations each (the JSON keeps the fastest sample per
+# name) so the recorded iters/s is a gateable number, not one noisy
+# -benchtime=1x run.
 BENCH_JSON ?= BENCH_fleet.json
+BENCH_COUNT ?= 3
+BENCH_TIME ?= 20x
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
+	$(GO) test -bench=BenchmarkFleetThroughput -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -run='^$$' . >> bench.out
 	$(GO) run ./cmd/disttrain-benchjson -o $(BENCH_JSON) < bench.out
+	@rm -f bench.out
+
+# bench-diff is the throughput regression gate: rerun the fleet
+# throughput benchmark (best of BENCH_COUNT samples, like the
+# baseline) and fail when any job count's iters/s lands outside
+# ±BENCH_BAND% of the committed $(BENCH_JSON) baseline. On a real
+# regression, fix it; on an intentional change (or real speedup,
+# which also fails — suspicious results deserve a look), re-record
+# with `make bench-json` and commit the new baseline.
+BENCH_BAND ?= 10
+bench-diff:
+	$(GO) test -bench=BenchmarkFleetThroughput -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -run='^$$' . > bench.out
+	$(GO) run ./cmd/disttrain-benchjson -diff $(BENCH_JSON) -band $(BENCH_BAND) < bench.out
 	@rm -f bench.out
 
 # fuzz smoke: hammer the user-facing parsers with generated inputs for
@@ -65,4 +85,4 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "FAIL: total coverage $$total% regressed below the $(COVER_FLOOR)% floor"; exit 1; }
 
-ci: build fmt vet test race bench fuzz cover
+ci: build fmt vet test race bench bench-diff fuzz cover

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package disttrain
+
+import "time"
+
+// processCPUTime is unavailable off unix; returning 0 makes the
+// benchmarks skip the cpu-iters/s metric rather than report garbage.
+func processCPUTime() time.Duration { return 0 }

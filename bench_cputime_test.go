@@ -1,0 +1,24 @@
+//go:build unix
+
+package disttrain
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the CPU time (user + system) consumed by this
+// process. On a contended machine wall clock charges the benchmark for
+// other tenants' cycles; CPU time stays proportional to the work
+// actually done, which is what the `make bench-diff` throughput gate
+// needs to compare runs recorded under different load.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) time.Duration {
+		return time.Duration(t.Sec)*time.Second + time.Duration(t.Usec)*time.Microsecond
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}

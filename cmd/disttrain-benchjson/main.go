@@ -5,6 +5,15 @@
 // eyeballing logs.
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | disttrain-benchjson -o BENCH_fleet.json
+//
+// With -diff, the tool compares the run on stdin against a committed
+// baseline instead of writing one: every baseline benchmark reporting
+// the fleet throughput metric (iters/s) must be present and within
+// ±band percent of its recorded rate, or the exit status is 1
+// (`make bench-diff`).
+//
+//	go test -bench=BenchmarkFleetThroughput -benchtime=1x -run='^$' . | \
+//	    disttrain-benchjson -diff BENCH_fleet.json -band 10
 package main
 
 import (
@@ -37,11 +46,23 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout); written atomically via temp file + rename")
+	baseline := flag.String("diff", "", "baseline report (e.g. BENCH_fleet.json) to compare against instead of writing")
+	band := flag.Float64("band", 10, "with -diff: allowed throughput deviation in percent")
 	flag.Parse()
 
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fatal(err)
+	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := diff(os.Stdout, base, report, *band); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *out == "" {
 		enc := json.NewEncoder(os.Stdout)
@@ -59,9 +80,12 @@ func main() {
 
 // parse extracts benchmark result lines: `BenchmarkName-P  N  V ns/op
 // [V unit]...`. Non-benchmark lines (experiment tables, PASS/ok) are
-// skipped.
+// skipped. Repeated names (-count=N) collapse to the fastest sample —
+// single -benchtime=1x runs of the fleet loop swing tens of percent
+// with machine load, while best-of-N is stable enough to gate on.
 func parse(r io.Reader) (*Report, error) {
 	report := &Report{Benchmarks: []Benchmark{}}
+	seen := map[string]int{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -88,11 +112,83 @@ func parse(r io.Reader) (*Report, error) {
 				b.Metrics[unit] = v
 			}
 		}
-		if b.NsPerOp > 0 {
-			report.Benchmarks = append(report.Benchmarks, b)
+		if b.NsPerOp <= 0 {
+			continue
 		}
+		if i, ok := seen[b.Name]; ok {
+			if b.NsPerOp < report.Benchmarks[i].NsPerOp {
+				report.Benchmarks[i] = b
+			}
+			continue
+		}
+		seen[b.Name] = len(report.Benchmarks)
+		report.Benchmarks = append(report.Benchmarks, b)
 	}
 	return report, sc.Err()
+}
+
+// throughputUnit is the fleet throughput metric the diff gate
+// compares: training iterations per CPU second. Wall-clock rates
+// (iters/s, ns/op) charge the benchmark for whatever else the machine
+// is running; CPU time tracks the work the fleet loop actually did,
+// so the ±band gate holds across differently-loaded runs.
+const throughputUnit = "cpu-iters/s"
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diff compares every baseline benchmark that reports the throughput
+// metric against the new run. A missing benchmark or a rate outside
+// ±band percent of the baseline fails the gate; benchmarks the
+// baseline never recorded are ignored (a new benchmark cannot regress
+// a committed number).
+func diff(w io.Writer, base, cur *Report, band float64) error {
+	rates := map[string]float64{}
+	for _, b := range cur.Benchmarks {
+		if v, ok := b.Metrics[throughputUnit]; ok {
+			rates[b.Name] = v
+		}
+	}
+	compared, failed := 0, 0
+	for _, b := range base.Benchmarks {
+		want, ok := b.Metrics[throughputUnit]
+		if !ok {
+			continue
+		}
+		compared++
+		got, ok := rates[b.Name]
+		if !ok {
+			failed++
+			fmt.Fprintf(w, "FAIL %s: in baseline but missing from this run\n", b.Name)
+			continue
+		}
+		delta := 100 * (got - want) / want
+		if delta < -band || delta > band {
+			failed++
+			fmt.Fprintf(w, "FAIL %s: %.1f %s vs baseline %.1f (%+.1f%%, band ±%.0f%%)\n",
+				b.Name, got, throughputUnit, want, delta, band)
+			continue
+		}
+		fmt.Fprintf(w, "ok   %s: %.1f %s vs baseline %.1f (%+.1f%%)\n",
+			b.Name, got, throughputUnit, want, delta)
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline reports no %q benchmarks to compare", throughputUnit)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks outside the ±%.0f%% band", failed, compared, band)
+	}
+	fmt.Fprintf(w, "throughput within ±%.0f%% of baseline (%d benchmarks)\n", band, compared)
+	return nil
 }
 
 // writeAtomic lands the report through the shared temp-file+rename

@@ -39,6 +39,142 @@ ok  	disttrain	1.234s
 	}
 }
 
+// TestParseMergesRepeatedRuns: -count=N produces repeated names; the
+// report keeps one entry per name, the fastest sample.
+func TestParseMergesRepeatedRuns(t *testing.T) {
+	out := `BenchmarkFleetThroughput/jobs=1-8 	 1 	 4000000 ns/op 	 500.0 iters/s
+BenchmarkFleetThroughput/jobs=1-8 	 1 	 3800000 ns/op 	 526.0 iters/s
+BenchmarkFleetThroughput/jobs=1-8 	 1 	 6000000 ns/op 	 333.0 iters/s
+BenchmarkOther-8 	 1 	 100 ns/op
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 merged: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	best := report.Benchmarks[0]
+	if best.NsPerOp != 3800000 || best.Metrics["iters/s"] != 526.0 {
+		t.Errorf("kept sample %+v, want the fastest (3800000 ns/op, 526 iters/s)", best)
+	}
+}
+
+// TestDiffBand pins the throughput gate: within ±band passes, outside
+// fails, a baseline benchmark missing from the run fails, and extra
+// benchmarks in the new run are ignored.
+func TestDiffBand(t *testing.T) {
+	bench := func(name string, rate float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{throughputUnit: rate}}
+	}
+	base := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkFleetThroughput/jobs=1-8", 400),
+		bench("BenchmarkFleetThroughput/jobs=4-8", 900),
+		{Name: "BenchmarkPlanSearch-8", Iterations: 1, NsPerOp: 5e8}, // no iters/s: not compared
+	}}
+
+	for name, tc := range map[string]struct {
+		cur  *Report
+		band float64
+		ok   bool
+	}{
+		"within band": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 420),
+				bench("BenchmarkFleetThroughput/jobs=4-8", 850),
+			}},
+			band: 10, ok: true,
+		},
+		"regression outside band": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 300),
+				bench("BenchmarkFleetThroughput/jobs=4-8", 900),
+			}},
+			band: 10, ok: false,
+		},
+		"suspicious speedup outside band": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 400),
+				bench("BenchmarkFleetThroughput/jobs=4-8", 1200),
+			}},
+			band: 10, ok: false,
+		},
+		"baseline benchmark missing from run": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 400),
+			}},
+			band: 10, ok: false,
+		},
+		"extra new benchmark ignored": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 400),
+				bench("BenchmarkFleetThroughput/jobs=4-8", 900),
+				bench("BenchmarkFleetThroughput/jobs=64-8", 1),
+			}},
+			band: 10, ok: true,
+		},
+		"wider band tolerates more": {
+			cur: &Report{Benchmarks: []Benchmark{
+				bench("BenchmarkFleetThroughput/jobs=1-8", 300),
+				bench("BenchmarkFleetThroughput/jobs=4-8", 900),
+			}},
+			band: 30, ok: true,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf strings.Builder
+			err := diff(&buf, base, tc.cur, tc.band)
+			if tc.ok && err != nil {
+				t.Fatalf("diff failed: %v\n%s", err, buf.String())
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("diff passed, want failure\n%s", buf.String())
+			}
+		})
+	}
+
+	// A baseline with no throughput benchmarks at all is a config
+	// error, not a pass.
+	empty := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkX-8", Iterations: 1, NsPerOp: 1}}}
+	var buf strings.Builder
+	if err := diff(&buf, empty, empty, 10); err == nil {
+		t.Fatal("empty baseline passed the gate")
+	}
+}
+
+// TestDiffRoundTrip runs the gate against a baseline file on disk the
+// way `make bench-diff` does: write a report, re-load it, diff parsed
+// bench output against it.
+func TestDiffRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	base := &Report{Benchmarks: []Benchmark{{
+		Name: "BenchmarkFleetThroughput/jobs=1-8", Iterations: 1, NsPerOp: 2e6,
+		Metrics: map[string]float64{throughputUnit: 500},
+	}}}
+	if err := writeAtomic(path, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(strings.NewReader(
+		"BenchmarkFleetThroughput/jobs=1-8 \t 1 \t 1900000 ns/op \t 520.0 cpu-iters/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := diff(&buf, loaded, cur, 10); err != nil {
+		t.Fatalf("round-trip diff failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "+4.0%") {
+		t.Errorf("diff output missing delta: %q", buf.String())
+	}
+	if _, err := loadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
 func TestWriteAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

@@ -1,18 +1,22 @@
 // Command disttrain-fleet runs a multi-tenant fleet: many concurrent
 // training jobs scheduled over one shared cluster, each holding an
-// explicit, elastically resizable GPU lease. Jobs are admitted FIFO,
-// sized by the placement policy (fifo or fair-share), and all plan
-// searches go through one fingerprint-keyed cache — identical jobs pay
-// for a single §4.3 search. The fleet-scope scenario grammar injects
-// arrivals, departures and node failures/rejoins; -trace writes the
-// merged per-job Chrome-trace timeline (atomically: temp file +
-// rename).
+// explicit, elastically resizable GPU lease. Admission order, lease
+// sizing and placement are the -policy scheduler's decisions (fifo,
+// fair-share, or priority with preemption, aging and packed
+// placement), and all plan searches go through one fingerprint-keyed
+// cache — identical jobs pay for a single §4.3 search. The fleet-scope
+// scenario grammar injects arrivals, departures, node failures/rejoins
+// and priority storms; -trace writes the merged per-job Chrome-trace
+// timeline (atomically: temp file + rename).
 //
 // Examples:
 //
 //	disttrain-fleet -nodes 8 -jobs 2 -job-nodes 2-4 -job-iters 4 -policy fair-share
 //	disttrain-fleet -nodes 8 -jobs 2 -arrive 0,2 \
 //	    -scenario 'node-fail:iter=3,node=0; node-join:iter=5,node=0'
+//	disttrain-fleet -nodes 8 -jobs 2 -policy priority -priority low,high -arrive 0,2
+//	disttrain-fleet -nodes 8 -jobs 2 -policy priority \
+//	    -scenario 'preempt-storm:iter=2,job=1,class=high,count=2'
 //	disttrain-fleet -nodes 16 -jobs 4 -job-nodes 4-4 -trace fleet.json
 package main
 
@@ -35,8 +39,9 @@ func main() {
 		batch     = flag.Int("batch", 32, "global batch size per job")
 		jobNodes  = flag.String("job-nodes", "", "per-job lease range min-max in nodes (default 1-<nodes>)")
 		arrive    = flag.String("arrive", "", "comma-separated arrival rounds, one per job (default all 0)")
-		policy    = flag.String("policy", "fair-share", "placement policy: fifo or fair-share")
-		scenSpec  = flag.String("scenario", "", "fleet-scope scenario, e.g. 'job-arrive:iter=2,job=0; node-fail:iter=3,node=1; node-join:iter=5,node=1; job-depart:iter=4,job=0'")
+		policy    = flag.String("policy", "fair-share", "scheduling policy: "+strings.Join(disttrain.FleetSchedulerNames(), ", "))
+		priority  = flag.String("priority", "", "comma-separated priority classes (low, normal, high), one per job (default all normal)")
+		scenSpec  = flag.String("scenario", "", "fleet-scope scenario, e.g. 'job-arrive:iter=2,job=0; node-fail:iter=3,node=1; priority-arrive:iter=4,job=0,class=high; preempt-storm:iter=5,job=1,count=2'")
 		workers   = flag.Int("workers", 0, "per-round job-step worker pool size (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write the merged fleet timeline (Chrome trace format) to this file")
 	)
@@ -79,6 +84,18 @@ func main() {
 			}
 		}
 	}
+	classes := make([]disttrain.FleetClass, *jobs)
+	if *priority != "" {
+		parts := strings.Split(*priority, ",")
+		if len(parts) != *jobs {
+			fatal(fmt.Errorf("-priority lists %d classes for %d jobs", len(parts), *jobs))
+		}
+		for i, p := range parts {
+			if classes[i], err = disttrain.ParseFleetClass(strings.TrimSpace(p)); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	tmpl := disttrain.NewTrainConfig(spec, nil, corpus)
 	cfg := disttrain.FleetConfig{
@@ -91,6 +108,7 @@ func main() {
 		cfg.Jobs = append(cfg.Jobs, disttrain.FleetJobSpec{
 			Name: fmt.Sprintf("job%d", i), Train: tmpl, Iters: *jobIters,
 			MinNodes: minN, MaxNodes: maxN, Arrive: arrivals[i],
+			Priority: classes[i],
 		})
 	}
 	if *scenSpec != "" {
@@ -107,7 +125,7 @@ func main() {
 	}
 
 	fmt.Printf("fleet: %d nodes, %s policy, %d rounds, %d tenants\n",
-		*nodes, pol, res.Rounds, len(res.Jobs))
+		*nodes, pol.Name(), res.Rounds, len(res.Jobs))
 	fmt.Printf("plan cache: %d searches, %d hits\n", res.PlanSearches, res.PlanHits)
 	for _, jr := range res.Jobs {
 		if jr.Err != nil {
@@ -123,6 +141,12 @@ func main() {
 		fmt.Printf("  %-10s rounds %d..%d  %-10s iters %d  resizes %d  mean iter %.3fs  MFU %4.1f%%",
 			jr.Name, jr.Started, jr.Finished, jr.Strategy, len(r.Iterations), jr.Resizes,
 			r.MeanIterTime, 100*r.MFU)
+		if jr.Priority != "" && jr.Priority != "normal" {
+			fmt.Printf("  class %s", jr.Priority)
+		}
+		if jr.Preemptions > 0 {
+			fmt.Printf("  preempted %dx", jr.Preemptions)
+		}
 		if jr.Departed {
 			fmt.Printf("  (departed)")
 		}

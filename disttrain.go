@@ -159,9 +159,25 @@ type (
 	// tenant's outcome.
 	FleetResult    = fleet.Result
 	FleetJobResult = fleet.JobResult
-	// FleetPolicy selects lease sizing and elasticity (FleetFIFO or
-	// FleetFairShare).
-	FleetPolicy = fleet.Policy
+	// FleetScheduler decides admission order, lease sizing and
+	// placement for a fleet run: FleetFIFO, FleetFairShare,
+	// FleetPriority, or a custom implementation registered with
+	// RegisterFleetScheduler. FleetPolicy is the historical name of
+	// the same interface (it predates the redesign, when policies
+	// were an int enum).
+	FleetScheduler = fleet.Scheduler
+	FleetPolicy    = fleet.Scheduler
+	// FleetJobView and FleetOps are what a custom FleetScheduler
+	// sees: read-only tenant views and the runner's mutation surface
+	// (shrink / grow / preempt, all costed checkpoint-reconfigures).
+	FleetJobView = fleet.JobView
+	FleetOps     = fleet.Ops
+	// FleetClass is a job's priority class (low, normal, high); the
+	// priority scheduler orders, preempts and ages by it.
+	FleetClass = fleet.Class
+	// FleetPriorityScheduler is the configurable priority scheduler
+	// (aging horizon); FleetPriority is its ready-to-use default.
+	FleetPriorityScheduler = fleet.PriorityScheduler
 	// FleetRoundInfo is one scheduling round's lease-table snapshot,
 	// delivered to FleetConfig.OnRound observers.
 	FleetRoundInfo = fleet.RoundInfo
@@ -170,11 +186,29 @@ type (
 	PlanCache = orchestrator.PlanCache
 )
 
-// Fleet placement policies.
-const (
+// Fleet schedulers (policies). FIFO and FairShare are the historical
+// count-based policies; Priority adds priority classes, preemption,
+// aging and placement scoring.
+var (
 	FleetFIFO      = fleet.FIFO
 	FleetFairShare = fleet.FairShare
+	FleetPriority  = fleet.Priority
 )
+
+// Fleet priority classes.
+const (
+	FleetClassLow    = fleet.ClassLow
+	FleetClassNormal = fleet.ClassNormal
+	FleetClassHigh   = fleet.ClassHigh
+)
+
+// RegisterFleetScheduler adds a custom FleetScheduler to the
+// name-keyed registry ParseFleetPolicy (and the disttrain-fleet
+// -policy flag) resolves against.
+func RegisterFleetScheduler(s FleetScheduler) error { return fleet.RegisterScheduler(s) }
+
+// FleetSchedulerNames lists the registered scheduler names, sorted.
+func FleetSchedulerNames() []string { return fleet.SchedulerNames() }
 
 // Model presets of the paper's evaluation (§7).
 func MLLM9B() MLLM  { return model.MLLM9B() }
@@ -386,9 +420,13 @@ func NewPlanCache(opts SearchOptions) *PlanCache { return orchestrator.NewPlanCa
 // cluster.
 func NewLease(nodes ...int) Lease { return cluster.NewLease(nodes...) }
 
-// ParseFleetPolicy maps the CLI policy names (fifo, fair-share) to a
-// FleetPolicy.
+// ParseFleetPolicy resolves a policy name (fifo, fair-share,
+// priority, or any name registered via RegisterFleetScheduler) to its
+// FleetScheduler.
 func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// ParseFleetClass validates a priority-class name ("" means normal).
+func ParseFleetClass(s string) (FleetClass, error) { return fleet.ParseClass(s) }
 
 // ParseScenario builds a Scenario from the CLI grammar shared with the
 // -scenario flag: semicolon-separated `kind:key=value,...` events —
@@ -397,7 +435,9 @@ func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(
 // `producer-fail:iter=2,producer=1`,
 // the fleet-scope events `job-arrive:iter=2,job=1`,
 // `job-depart:iter=5,job=0`, `node-fail:iter=3,node=2`,
-// `node-join:iter=6,node=2` (FleetConfig.Scenario), or the
+// `node-join:iter=6,node=2`, `priority-arrive:iter=2,job=1,class=high`,
+// `preempt-storm:iter=3,job=0,class=high,count=3`
+// (FleetConfig.Scenario), or the
 // seeded generator `random-stragglers:seed=7,ranks=8,prob=0.3,max=3`.
 func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
 

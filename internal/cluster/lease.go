@@ -85,6 +85,81 @@ func (l Lease) Subcluster(base Cluster) Cluster {
 	return sub
 }
 
+// Run is a maximal stretch of consecutive leased nodes.
+type Run struct {
+	// First is the lowest node index of the run; Count its length.
+	First, Count int
+}
+
+// Runs decomposes the lease into maximal runs of consecutive node
+// indices, ascending. A packed lease has one run; every extra run is
+// a fragment boundary crossing the fabric.
+func (l Lease) Runs() []Run {
+	var runs []Run
+	for _, n := range l.Nodes {
+		if len(runs) > 0 && runs[len(runs)-1].First+runs[len(runs)-1].Count == n {
+			runs[len(runs)-1].Count++
+			continue
+		}
+		runs = append(runs, Run{First: n, Count: 1})
+	}
+	return runs
+}
+
+// Fragments returns the number of runs (0 for an empty lease).
+func (l Lease) Fragments() int { return len(l.Runs()) }
+
+// Shape renders the lease's canonical placement shape: run lengths
+// sorted descending, joined by "+" — "8" for a packed 8-node lease,
+// "4+2+2" for a fragmented one; "" for an empty lease. Two leases
+// with equal shapes price identically, which is what placement-aware
+// plan-cache fingerprints key on.
+func (l Lease) Shape() string {
+	runs := l.Runs()
+	lens := make([]int, len(runs))
+	for i, r := range runs {
+		lens[i] = r.Count
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	s := ""
+	for i, n := range lens {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%d", n)
+	}
+	return s
+}
+
+// Placed carves the lease's placement-priced view out of the shared
+// cluster: like Subcluster, but a fragmented lease (more than one
+// run) loses rail alignment — its cross-node collectives hop between
+// non-adjacent servers, off the rail-optimised paths — and pays the
+// non-rail fabric. Placement-scoring fleet schedulers price leases
+// through Placed; count-based policies keep Subcluster so equal node
+// counts price identically wherever they land.
+func (l Lease) Placed(base Cluster) Cluster {
+	sub := l.Subcluster(base)
+	if len(l.Runs()) > 1 {
+		sub.RailOptimized = false
+	}
+	return sub
+}
+
+// GlobalRanks maps the lease-local GPU ranks (0..GPUs-1, the packed
+// view every plan's Units are expressed in) to the global ranks they
+// occupy on the shared cluster, in lease-local order: local rank r
+// lives on leased node r/GPUsPerNode at slot r%GPUsPerNode.
+func (l Lease) GlobalRanks(base Cluster) []int {
+	out := make([]int, 0, l.GPUs(base))
+	for _, node := range l.Nodes {
+		for g := 0; g < base.GPUsPerNode; g++ {
+			out = append(out, node*base.GPUsPerNode+g)
+		}
+	}
+	return out
+}
+
 func (l Lease) String() string {
 	return fmt.Sprintf("lease%v", l.Nodes)
 }

@@ -39,6 +39,70 @@ func TestLeaseBasics(t *testing.T) {
 	}
 }
 
+// TestLeasePlacement covers the placement geometry a shaped fleet
+// scheduler prices: run decomposition, the canonical shape string, and
+// the rail-alignment penalty for fragmented leases.
+func TestLeasePlacement(t *testing.T) {
+	base := Production(8)
+
+	packed := NewLease(2, 3, 4, 5)
+	if got := packed.Runs(); !reflect.DeepEqual(got, []Run{{First: 2, Count: 4}}) {
+		t.Errorf("packed runs = %v", got)
+	}
+	if packed.Fragments() != 1 || packed.Shape() != "4" {
+		t.Errorf("packed fragments=%d shape=%q", packed.Fragments(), packed.Shape())
+	}
+	if got := packed.Placed(base); got != packed.Subcluster(base) {
+		t.Errorf("packed lease must price like its subcluster: %+v", got)
+	}
+	if !packed.Placed(base).RailOptimized {
+		t.Error("packed lease lost rail alignment")
+	}
+
+	frag := NewLease(0, 1, 4, 5, 7)
+	wantRuns := []Run{{First: 0, Count: 2}, {First: 4, Count: 2}, {First: 7, Count: 1}}
+	if got := frag.Runs(); !reflect.DeepEqual(got, wantRuns) {
+		t.Errorf("fragmented runs = %v, want %v", got, wantRuns)
+	}
+	if frag.Fragments() != 3 || frag.Shape() != "2+2+1" {
+		t.Errorf("fragmented fragments=%d shape=%q", frag.Fragments(), frag.Shape())
+	}
+	placed := frag.Placed(base)
+	if placed.RailOptimized {
+		t.Error("fragmented lease kept rail alignment")
+	}
+	if placed.Nodes != 5 || placed.GPUsPerNode != base.GPUsPerNode {
+		t.Errorf("Placed changed geometry beyond rails: %+v", placed)
+	}
+
+	// Shape is placement-canonical: same run lengths anywhere on the
+	// fleet, same shape — that is the plan-cache key property.
+	if a, b := NewLease(0, 1, 4).Shape(), NewLease(5, 6, 2).Shape(); a != b || a != "2+1" {
+		t.Errorf("shapes %q vs %q, want both 2+1", a, b)
+	}
+
+	var empty Lease
+	if empty.Fragments() != 0 || empty.Shape() != "" {
+		t.Errorf("empty lease fragments=%d shape=%q", empty.Fragments(), empty.Shape())
+	}
+}
+
+// TestLeaseGlobalRanks pins the lease-local -> global rank mapping
+// PlacedUnits builds on: local rank r lives on leased node
+// r/GPUsPerNode, at slot r%GPUsPerNode.
+func TestLeaseGlobalRanks(t *testing.T) {
+	base := Production(8)
+	base.GPUsPerNode = 2 // small enough to spell out
+	l := NewLease(1, 4)
+	want := []int{2, 3, 8, 9}
+	if got := l.GlobalRanks(base); !reflect.DeepEqual(got, want) {
+		t.Errorf("GlobalRanks = %v, want %v", got, want)
+	}
+	if got := len(NewLease(0, 5, 7).GlobalRanks(Production(8))); got != 24 {
+		t.Errorf("3 leased production nodes map %d global ranks, want 24", got)
+	}
+}
+
 // TestLeaseSubcluster pins the equivalence the fleet runtime builds
 // on: a lease's subcluster is the base cluster at the leased node
 // count — identical hardware, identical per-GPU cost-model inputs.

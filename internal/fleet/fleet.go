@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,10 @@ type JobSpec struct {
 	MinNodes, MaxNodes int
 	// Arrive is the fleet round the job enters the admission queue.
 	Arrive int
+	// Priority is the job's priority class (low, normal or high; ""
+	// means normal, preserving pre-priority behaviour). Validated at
+	// Run; only priority-aware schedulers act on it.
+	Priority Class
 }
 
 // Config drives one fleet run.
@@ -49,8 +54,12 @@ type Config struct {
 	// Jobs are the submissions. Scenario job-arrive events may submit
 	// additional instances of any entry.
 	Jobs []JobSpec
-	// Policy selects lease sizing and elasticity (FIFO or FairShare).
-	Policy Policy
+	// Policy is the Scheduler deciding admission order, lease sizing
+	// and placement: one of the built-ins (FIFO, FairShare, Priority),
+	// a registered custom scheduler, or nil for FIFO. The field keeps
+	// its historical name — Policy: FairShare literals predating the
+	// Scheduler interface still compile and mean the same thing.
+	Policy Scheduler
 	// Scenario carries fleet-scope events only (job-arrive, job-depart,
 	// node-fail, node-join) and must be a fixed schedule — generators
 	// have no knowable last round. Per-job perturbations belong in each
@@ -100,10 +109,20 @@ type JobResult struct {
 	// lease changes.
 	Departed bool
 	Resizes  int
+	// Priority is the instance's priority class; Preemptions counts
+	// how many times a scheduler suspended it for a higher-priority
+	// tenant (each resume is a checkpoint-restore, visible in
+	// Result.Replans).
+	Priority    Class
+	Preemptions int
 	// Lease is the final lease (empty once released).
 	Lease cluster.Lease
 	// Strategy names the plan the job started on.
 	Strategy string
+	// Plan is the orchestration plan of the job's final geometry (nil
+	// when it never started). Plan.PlacedUnits maps it onto the
+	// lease's concrete nodes.
+	Plan *orchestrator.Plan
 	// Result is the training result (nil when the job never started);
 	// Trace its timeline when Config.Trace was set.
 	Result *trainer.Result
@@ -140,14 +159,18 @@ type tenant struct {
 	cfg      trainer.Config // instance copy of the template
 	iters    int
 	min, max int
+	class    Class
 
 	arrived, started, finished int
 	departed                   bool
 	resizes                    int
+	waited                     int // full rounds queued since last enqueue
+	preempts                   int
 
 	rt     *trainer.Runtime
 	job    *trainer.Job
 	lease  cluster.Lease
+	plan   *orchestrator.Plan
 	trace  *metrics.Trace
 	result *trainer.Result
 	err    error
@@ -161,6 +184,9 @@ type tenant struct {
 type runner struct {
 	cfg        Config
 	ctx        context.Context
+	sched      Scheduler
+	shaped     bool    // scheduler placements are priced (ShapedScheduler)
+	classes    []Class // validated per-JobSpec priority classes
 	table      *LeaseTable
 	cache      *orchestrator.PlanCache
 	events     []scenario.Event
@@ -187,10 +213,26 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched := cfg.Policy
+	if sched == nil {
+		sched = FIFO
+	}
+	shaped := false
+	if ss, ok := sched.(ShapedScheduler); ok {
+		shaped = ss.ShapedPlacement()
+	}
+	for _, ev := range events {
+		if ev.Kind == scenario.PreemptStorm || ev.Kind == scenario.PriorityArrive {
+			if _, err := ParseClass(ev.Class); err != nil {
+				return nil, fmt.Errorf("fleet: %s event: %w", ev.Kind, err)
+			}
+		}
+	}
 	// Defaults land on a private copy: callers may reuse one Jobs
 	// slice across fleets (and cluster sizes) without this run's
 	// defaults sticking.
 	cfg.Jobs = append([]JobSpec(nil), cfg.Jobs...)
+	classes := make([]Class, len(cfg.Jobs))
 	for i := range cfg.Jobs {
 		js := &cfg.Jobs[i]
 		if js.MinNodes == 0 {
@@ -210,6 +252,11 @@ func Run(cfg Config) (*Result, error) {
 		case js.Train.Spec.Cluster != cfg.Cluster:
 			return nil, fmt.Errorf("fleet: job %d's Train.Spec.Cluster differs from the shared fleet", i)
 		}
+		cls, err := ParseClass(string(js.Priority))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: job %d: %w", i, err)
+		}
+		classes[i] = cls
 		// A controller is stateful per run: two tenants observing into
 		// one would mix their drift windows, and the Observe
 		// interleaving would depend on worker scheduling — breaking the
@@ -225,8 +272,8 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			for _, ev := range events {
-				if ev.Kind == scenario.JobArrive && ev.Job == i {
-					return nil, fmt.Errorf("fleet: job %d carries a Train.Controller but a job-arrive event re-instantiates it; give each instance its own controller", i)
+				if arrivalKind(ev.Kind) && ev.Job == i {
+					return nil, fmt.Errorf("fleet: job %d carries a Train.Controller but a %s event re-instantiates it; give each instance its own controller", i, ev.Kind)
 				}
 			}
 		}
@@ -236,7 +283,7 @@ func Run(cfg Config) (*Result, error) {
 		cache = orchestrator.NewPlanCache(cfg.Search)
 	}
 	f := &runner{
-		cfg:   cfg,
+		cfg: cfg, sched: sched, shaped: shaped, classes: classes,
 		ctx:   context.Background(),
 		table: NewLeaseTable(cfg.Cluster.Nodes),
 		cache: cache, events: events,
@@ -261,12 +308,15 @@ func Run(cfg Config) (*Result, error) {
 
 	for f.round = 0; ; f.round++ {
 		f.admitted, f.retired = 0, 0
+		// Queue aging: tenants still queued from earlier rounds have
+		// waited one more full round (this round's arrivals start at 0).
+		for _, t := range f.queue {
+			t.waited++
+		}
 		f.enqueueArrivals()
 		f.applyEvents()
 		f.admit()
-		if cfg.Policy == FairShare {
-			f.growToShare()
-		}
+		f.sched.Rebalance(schedOps{f})
 		if cfg.OnRound != nil {
 			cfg.OnRound(f.roundInfo())
 		}
@@ -296,7 +346,8 @@ func Run(cfg Config) (*Result, error) {
 			Name: t.name, Spec: t.spec, ID: t.id,
 			Arrived: t.arrived, Started: t.started, Finished: t.finished,
 			Departed: t.departed, Resizes: t.resizes,
-			Lease: t.lease, Strategy: t.strategy,
+			Priority: t.class, Preemptions: t.preempts,
+			Lease: t.lease, Strategy: t.strategy, Plan: t.plan,
 			Result: t.result, Trace: t.trace, Err: t.err,
 		})
 	}
@@ -341,8 +392,15 @@ func (f *runner) note(name string, args map[string]any) {
 	}
 }
 
-// newTenant submits one instance of job spec si to the queue.
-func (f *runner) newTenant(si int) {
+// arrivalKind reports whether a fleet-scope event kind instantiates
+// new tenants from a job spec.
+func arrivalKind(k scenario.Kind) bool {
+	return k == scenario.JobArrive || k == scenario.PriorityArrive || k == scenario.PreemptStorm
+}
+
+// newTenant submits one instance of job spec si to the queue, at the
+// given priority class.
+func (f *runner) newTenant(si int, class Class) {
 	js := f.cfg.Jobs[si]
 	name := js.Name
 	if name == "" {
@@ -354,30 +412,45 @@ func (f *runner) newTenant(si int) {
 		cfg:   js.Train,
 		iters: js.Iters,
 		min:   js.MinNodes, max: js.MaxNodes,
+		class:   f.classes[si],
 		arrived: f.round, started: -1, finished: -1,
 		state: stateQueued,
 	}
+	if class != "" {
+		t.class = class
+	}
 	f.tenants = append(f.tenants, t)
 	f.queue = append(f.queue, t)
-	f.note("job-arrive", map[string]any{"job": t.id, "name": t.name})
+	f.note("job-arrive", map[string]any{"job": t.id, "name": t.name, "class": t.class.String()})
 }
 
 // enqueueArrivals submits this round's arrivals: Config.Jobs entries
-// first (in index order), then scenario job-arrive events (in schedule
-// order).
+// first (in index order), then scenario arrival events — job-arrive,
+// priority-arrive, preempt-storm — in schedule order.
 func (f *runner) enqueueArrivals() {
 	for i, js := range f.cfg.Jobs {
 		if js.Arrive == f.round {
-			f.newTenant(i)
+			f.newTenant(i, "")
 		}
 	}
 	for _, ev := range f.events {
-		if ev.Kind == scenario.JobArrive && ev.Start == f.round {
-			if ev.Job < 0 || ev.Job >= len(f.cfg.Jobs) {
-				f.note("job-arrive-ignored", map[string]any{"job": ev.Job, "reason": "no such job spec"})
-				continue
+		if !arrivalKind(ev.Kind) || ev.Start != f.round {
+			continue
+		}
+		if ev.Job < 0 || ev.Job >= len(f.cfg.Jobs) {
+			f.note("job-arrive-ignored", map[string]any{"job": ev.Job, "reason": "no such job spec"})
+			continue
+		}
+		switch ev.Kind {
+		case scenario.JobArrive:
+			f.newTenant(ev.Job, "")
+		case scenario.PriorityArrive:
+			// Class validated at Run; "" inherits the spec's class.
+			f.newTenant(ev.Job, Class(ev.Class))
+		case scenario.PreemptStorm:
+			for k := 0; k < ev.Count; k++ {
+				f.newTenant(ev.Job, Class(ev.Class))
 			}
-			f.newTenant(ev.Job)
 		}
 	}
 }
@@ -426,6 +499,7 @@ func (f *runner) failNode(node int) {
 			reason := fmt.Sprintf("node %d failed: lease shrinks to %d nodes", node, shrunk.NodeCount())
 			if rerr := t.job.Resize(shrunk, plan, reason); rerr == nil {
 				t.lease = shrunk
+				t.plan = plan
 				t.resizes++
 				f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
 				return
@@ -439,6 +513,7 @@ func (f *runner) failNode(node int) {
 	f.table.Release(t.id)
 	t.lease = cluster.Lease{}
 	t.state = stateQueued
+	t.waited = 0
 	f.requeueFront(t)
 	f.note("job-suspend", map[string]any{"job": t.id})
 }
@@ -494,26 +569,65 @@ func (f *runner) retire(t *tenant, departed bool) {
 // §4.3 search and K-1 cache hits.
 func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error) {
 	spec := t.cfg.Spec
-	spec.Cluster = l.Subcluster(f.cfg.Cluster)
+	if f.shaped {
+		// Placement-scoring schedulers price the lease's concrete
+		// shape: a fragmented lease loses rail alignment, and its plan
+		// is cached under that shape.
+		spec.Cluster = l.Placed(f.cfg.Cluster)
+		spec.Placement = l.Shape()
+	} else {
+		spec.Cluster = l.Subcluster(f.cfg.Cluster)
+	}
 	spec.MaxGPUs = 0
 	return f.cache.Plan(f.ctx, spec)
 }
 
-// admit places queued tenants in strict FIFO order until the head
-// cannot be placed.
+// sortQueue orders the admission queue by the scheduler's Order
+// (stable, so always-false comparators keep strict submission order).
+func (f *runner) sortQueue() {
+	if len(f.queue) < 2 {
+		return
+	}
+	views := make(map[*tenant]JobView, len(f.queue))
+	for _, t := range f.queue {
+		views[t] = f.view(t)
+	}
+	sort.SliceStable(f.queue, func(i, j int) bool {
+		return f.sched.Order(views[f.queue[i]], views[f.queue[j]])
+	})
+}
+
+// admit places queued tenants in scheduler order until the head
+// cannot be placed. The head blocks the queue (no backfilling), so
+// admission latency stays predictable: once a job reaches the head —
+// by submission order or by aging — the next feasible capacity is
+// its.
 func (f *runner) admit() {
 	for len(f.queue) > 0 {
+		f.sortQueue()
 		t := f.queue[0]
-		grant := f.grantSize(t)
-		if grant < t.min && f.cfg.Policy == FairShare {
-			f.shrinkToAdmit(t)
-			grant = f.grantSize(t)
+		ops := schedOps{f}
+		grant := f.sched.GrantSize(ops, f.view(t))
+		if grant < t.min {
+			f.sched.MakeRoom(ops, f.view(t))
+			grant = f.sched.GrantSize(ops, f.view(t))
 		}
 		if grant < t.min {
-			return // strict FIFO: the head blocks the queue
+			return // the head blocks the queue
 		}
-		free := f.table.Free()
-		lease := cluster.NewLease(free[:grant]...)
+		nodes := f.sched.PlaceNodes(ops, f.view(t), grant)
+		lease := cluster.NewLease(nodes...)
+		if err := f.checkPlacement(lease, grant); err != nil {
+			// A scheduler returning an invalid placement is a bug in
+			// the scheduler, not the tenant: fail the tenant loudly
+			// rather than corrupting the lease table.
+			err = fmt.Errorf("fleet: scheduler %s: %w", f.sched.Name(), err)
+			f.queue = f.queue[1:]
+			t.err = err
+			f.retire(t, false)
+			f.note("job-rejected", map[string]any{"job": t.id, "reason": err.Error()})
+			continue
+		}
 		if err := f.place(t, lease); err != nil {
 			// Unplannable at its granted size (model too big for
 			// MinNodes, degenerate batch geometry): the job can never
@@ -529,17 +643,23 @@ func (f *runner) admit() {
 	}
 }
 
-// grantSize sizes the head tenant's lease under the policy.
-func (f *runner) grantSize(t *tenant) int {
-	free := f.table.FreeCount()
-	switch f.cfg.Policy {
-	case FairShare:
-		healthy := f.table.Nodes() - len(f.table.Failed())
-		target := fairTarget(healthy, f.runningCount()+1)
-		return clamp(target, t.min, minInt(t.max, free))
-	default:
-		return minInt(t.max, free)
+// checkPlacement validates a scheduler's PlaceNodes result: exactly
+// grant distinct nodes, all currently free.
+func (f *runner) checkPlacement(l cluster.Lease, grant int) error {
+	if l.NodeCount() != grant {
+		return fmt.Errorf("placed %d nodes, granted %d", l.NodeCount(), grant)
 	}
+	prev := -1
+	for _, n := range l.Nodes {
+		if n == prev {
+			return fmt.Errorf("node %d placed twice", n)
+		}
+		prev = n
+		if f.table.ownerOf(n) != nodeFree {
+			return fmt.Errorf("placed node %d is not free", n)
+		}
+	}
+	return nil
 }
 
 // place grants the lease: a fresh tenant builds its runtime and Job, a
@@ -554,6 +674,9 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 		l := lease
 		tcfg.Lease = &l
 		tcfg.Plan = plan
+		// Shaped schedulers price the run against the lease's concrete
+		// placement — the same cluster view planFor planned it on.
+		tcfg.PlacementPricing = f.shaped
 		// Tracing is fleet-owned: a template Trace shared by K tenants
 		// would interleave their lanes nondeterministically, so it is
 		// replaced by a private per-job trace (Config.Trace on) or
@@ -583,98 +706,14 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 		return err
 	}
 	t.lease = lease
+	t.plan = plan
 	t.state = stateRunning
+	t.waited = 0
 	if t.started < 0 {
 		t.started = f.round
 	}
 	f.note("job-start", map[string]any{"job": t.id, "nodes": lease.NodeCount(), "strategy": plan.Strategy})
 	return nil
-}
-
-// shrinkToAdmit frees capacity for a starved queue head by shrinking
-// running tenants above their fair share, in submission order.
-func (f *runner) shrinkToAdmit(head *tenant) {
-	needed := head.min - f.table.FreeCount()
-	if needed <= 0 {
-		return
-	}
-	healthy := f.table.Nodes() - len(f.table.Failed())
-	for _, t := range f.tenants {
-		if needed <= 0 {
-			return
-		}
-		if t.state != stateRunning {
-			continue
-		}
-		floor := clamp(fairTarget(healthy, f.runningCount()+1), t.min, t.max)
-		excess := t.lease.NodeCount() - floor
-		if excess <= 0 {
-			continue
-		}
-		drop := minInt(excess, needed)
-		// Drop the highest-index nodes: deterministic, and it keeps
-		// low-index nodes packed.
-		dropNodes := append([]int(nil), t.lease.Nodes[len(t.lease.Nodes)-drop:]...)
-		shrunk := cluster.NewLease(t.lease.Nodes[:len(t.lease.Nodes)-drop]...)
-		plan, err := f.planFor(t, shrunk)
-		if err != nil {
-			continue
-		}
-		reason := fmt.Sprintf("fair-share shrink to %d nodes to admit %s", shrunk.NodeCount(), head.name)
-		if err := t.job.Resize(shrunk, plan, reason); err != nil {
-			continue
-		}
-		if err := f.table.ReleaseNodes(t.id, dropNodes); err != nil {
-			// Table and tenant state diverged: fail loudly via the
-			// tenant rather than corrupting accounting.
-			t.err = err
-			f.retire(t, false)
-			continue
-		}
-		t.lease = shrunk
-		t.resizes++
-		needed -= drop
-		f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
-	}
-}
-
-// growToShare grows running tenants toward their fair share (clamped
-// to MaxNodes) from the free pool — the elastic response to capacity
-// freed by completions, departures and rejoins.
-func (f *runner) growToShare() {
-	healthy := f.table.Nodes() - len(f.table.Failed())
-	running := f.runningCount()
-	for _, t := range f.tenants {
-		if t.state != stateRunning {
-			continue
-		}
-		free := f.table.Free()
-		if len(free) == 0 {
-			return
-		}
-		target := clamp(fairTarget(healthy, running), t.min, t.max)
-		take := minInt(target-t.lease.NodeCount(), len(free))
-		if take <= 0 {
-			continue
-		}
-		grown := cluster.NewLease(append(append([]int(nil), t.lease.Nodes...), free[:take]...)...)
-		plan, err := f.planFor(t, grown)
-		if err != nil {
-			continue
-		}
-		reason := fmt.Sprintf("fair-share grow to %d nodes", grown.NodeCount())
-		if err := t.job.Resize(grown, plan, reason); err != nil {
-			continue
-		}
-		if err := f.table.Acquire(t.id, free[:take]); err != nil {
-			t.err = err
-			f.retire(t, false)
-			continue
-		}
-		t.lease = grown
-		t.resizes++
-		f.note("lease-grow", map[string]any{"job": t.id, "nodes": grown.NodeCount()})
-	}
 }
 
 // running returns the running tenants in submission order.

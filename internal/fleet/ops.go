@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"disttrain/internal/cluster"
+)
+
+// view snapshots a tenant for a scheduler.
+func (f *runner) view(t *tenant) JobView {
+	v := JobView{
+		ID: t.id, Name: t.name, Priority: t.class,
+		Min: t.min, Max: t.max,
+		Arrived: t.arrived, Started: t.started,
+		Waited:    t.waited,
+		Suspended: t.state == stateQueued && t.started >= 0,
+	}
+	if t.state == stateRunning {
+		v.Nodes = append([]int(nil), t.lease.Nodes...)
+	}
+	return v
+}
+
+// schedOps is the runner's Ops implementation: every scheduler
+// mutation funnels through the same lease-table accounting, costed
+// trainer resizes and trace notes the built-in policies use.
+type schedOps struct{ f *runner }
+
+func (o schedOps) Round() int   { return o.f.round }
+func (o schedOps) Nodes() int   { return o.f.table.Nodes() }
+func (o schedOps) Healthy() int { return o.f.table.Nodes() - len(o.f.table.Failed()) }
+func (o schedOps) Free() []int  { return o.f.table.Free() }
+func (o schedOps) FreeCount() int {
+	return o.f.table.FreeCount()
+}
+
+func (o schedOps) Running() []JobView {
+	var out []JobView
+	for _, t := range o.f.tenants {
+		if t.state == stateRunning {
+			out = append(out, o.f.view(t))
+		}
+	}
+	return out
+}
+
+func (o schedOps) Queued() []JobView {
+	var out []JobView
+	for _, t := range o.f.queue {
+		out = append(out, o.f.view(t))
+	}
+	return out
+}
+
+// runningTenant resolves an Ops target id to a running tenant.
+func (o schedOps) runningTenant(id int) *tenant {
+	if id < 0 || id >= len(o.f.tenants) {
+		return nil
+	}
+	t := o.f.tenants[id]
+	if t.state != stateRunning {
+		return nil
+	}
+	return t
+}
+
+// Shrink implements Ops: a costed resize dropping the given nodes
+// from a running tenant's lease.
+func (o schedOps) Shrink(id int, drop []int, reason string) bool {
+	f := o.f
+	t := o.runningTenant(id)
+	if t == nil || len(drop) == 0 {
+		return false
+	}
+	shrunk := t.lease
+	for _, n := range drop {
+		if !shrunk.Contains(n) {
+			return false
+		}
+		shrunk = shrunk.Without(n)
+	}
+	if shrunk.NodeCount() == 0 {
+		return false // shrink-to-nothing is a preemption, not a resize
+	}
+	plan, err := f.planFor(t, shrunk)
+	if err != nil {
+		return false
+	}
+	if err := t.job.Resize(shrunk, plan, reason); err != nil {
+		return false
+	}
+	if err := f.table.ReleaseNodes(t.id, drop); err != nil {
+		// Table and tenant state diverged: fail loudly via the tenant
+		// rather than corrupting accounting.
+		t.err = err
+		f.retire(t, false)
+		return false
+	}
+	t.lease = shrunk
+	t.plan = plan
+	t.resizes++
+	f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
+	return true
+}
+
+// Grow implements Ops: a costed resize extending a running tenant's
+// lease by the given free nodes.
+func (o schedOps) Grow(id int, take []int, reason string) bool {
+	f := o.f
+	t := o.runningTenant(id)
+	if t == nil || len(take) == 0 {
+		return false
+	}
+	for _, n := range take {
+		if f.table.ownerOf(n) != nodeFree {
+			return false
+		}
+	}
+	grown := cluster.NewLease(append(append([]int(nil), t.lease.Nodes...), take...)...)
+	if grown.NodeCount() != t.lease.NodeCount()+len(take) {
+		return false // duplicate nodes in take
+	}
+	plan, err := f.planFor(t, grown)
+	if err != nil {
+		return false
+	}
+	if err := t.job.Resize(grown, plan, reason); err != nil {
+		return false
+	}
+	if err := f.table.Acquire(t.id, take); err != nil {
+		t.err = err
+		f.retire(t, false)
+		return false
+	}
+	t.lease = grown
+	t.plan = plan
+	t.resizes++
+	f.note("lease-grow", map[string]any{"job": t.id, "nodes": grown.NodeCount()})
+	return true
+}
+
+// Preempt implements Ops: suspend a running tenant through the
+// node-failure suspend path. The lease is released, progress (DFS
+// checkpoints, optimizer state) stays with the runtime, and the
+// tenant rejoins the queue to resume later via the costed
+// checkpoint-restore resize.
+func (o schedOps) Preempt(id int, reason string) bool {
+	f := o.f
+	t := o.runningTenant(id)
+	if t == nil {
+		return false
+	}
+	f.table.Release(t.id)
+	t.lease = cluster.Lease{}
+	t.state = stateQueued
+	t.waited = 0
+	t.preempts++
+	f.queue = append(f.queue, t)
+	f.note("job-preempt", map[string]any{"job": t.id, "reason": reason})
+	return true
+}

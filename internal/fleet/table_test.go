@@ -171,16 +171,18 @@ func shadowLeased(shadow map[int]int) []int {
 
 // TestPolicyParse covers the CLI policy names.
 func TestPolicyParse(t *testing.T) {
-	for s, want := range map[string]Policy{"fifo": FIFO, "fair-share": FairShare, "fair": FairShare} {
+	for s, want := range map[string]Scheduler{
+		"fifo": FIFO, "fair-share": FairShare, "fair": FairShare, "priority": Priority,
+	} {
 		got, err := ParsePolicy(s)
-		if err != nil || got != want {
+		if err != nil || got.Name() != want.Name() {
 			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
 		}
 	}
 	if _, err := ParsePolicy("lifo"); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if FIFO.String() != "fifo" || FairShare.String() != "fair-share" {
+	if FIFO.Name() != "fifo" || FairShare.Name() != "fair-share" || Priority.Name() != "priority" {
 		t.Error("policy names changed")
 	}
 }

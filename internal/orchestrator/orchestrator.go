@@ -36,6 +36,13 @@ type Spec struct {
 	// VPP is the LLM backbone's virtual-pipeline size (>=1); warm-up
 	// time divides by it (§4.3).
 	VPP int
+	// Placement is the canonical placement shape of the lease this
+	// spec was carved from (cluster.Lease.Shape), "" for packed or
+	// standalone runs. The search itself never reads it — the shape's
+	// cost impact is already folded into Cluster by Lease.Placed — but
+	// plan-cache fingerprints include it, so placement-aware fleets
+	// key cached plans on the shape a lease actually has.
+	Placement string
 }
 
 // Validate checks the spec.
@@ -140,6 +147,29 @@ func (p Plan) Units(cl cluster.Cluster) ([3]*parallel.Unit, [2]parallel.BrokerAs
 	brokers[0] = parallel.AssignBrokers(units[0], units[1])
 	brokers[1] = parallel.AssignBrokers(units[1], units[2])
 	return units, brokers, nil
+}
+
+// PlacedUnits instantiates the plan over a lease's concrete node
+// identities on the shared cluster. Units assigns each module a
+// packed slice of lease-local ranks; PlacedUnits additionally maps
+// every slice through the lease to the global ranks it occupies, so
+// fleet schedulers that hand out real node sets (not just counts) can
+// see exactly which cluster GPUs each parallelism unit lands on. The
+// returned ranks are indexed by model.Module, in unit-local order.
+func (p Plan) PlacedUnits(base cluster.Cluster, l cluster.Lease) ([3]*parallel.Unit, [3][]int, [2]parallel.BrokerAssignment, error) {
+	var ranks [3][]int
+	units, brokers, err := p.Units(l.Subcluster(base))
+	if err != nil {
+		return units, ranks, brokers, err
+	}
+	all := l.GlobalRanks(base)
+	if p.TotalGPUs() > len(all) {
+		return units, ranks, brokers, fmt.Errorf("orchestrator: plan wants %d GPUs, lease holds %d", p.TotalGPUs(), len(all))
+	}
+	for i, u := range units {
+		ranks[i] = append([]int(nil), all[u.Slice.First:u.Slice.End()]...)
+	}
+	return units, ranks, brokers, nil
 }
 
 // stageTime returns T_mod: the per-PP-stage time of the module for one

@@ -369,3 +369,59 @@ func containsStr(s, sub string) bool {
 	}
 	return false
 }
+
+// TestPlacedUnits pins the plan -> concrete-placement mapping: every
+// parallelism unit's lease-local slice maps onto the global ranks of
+// the lease's actual nodes, in lease-local order, and a lease too
+// small for the plan is rejected.
+func TestPlacedUnits(t *testing.T) {
+	s := newSpec(t, model.MLLM9B(), 4, 32, model.FullTraining)
+	p, err := PlanDistTrain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cluster.Production(8)
+	lease := cluster.NewLease(0, 1, 4, 5) // fragmented 2+2 lease, 4 nodes
+	units, ranks, brokers, err := p.PlacedUnits(base, lease)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := lease.GlobalRanks(base)
+	var flat []int
+	for i, u := range units {
+		if u == nil {
+			t.Fatalf("unit %d nil", i)
+		}
+		if len(ranks[i]) != u.Slice.Count {
+			t.Errorf("unit %d: %d global ranks for a %d-GPU slice", i, len(ranks[i]), u.Slice.Count)
+		}
+		flat = append(flat, ranks[i]...)
+	}
+	if len(flat) != p.TotalGPUs() {
+		t.Fatalf("placed %d ranks, plan wants %d", len(flat), p.TotalGPUs())
+	}
+	// Consecutive lease-local slices occupy consecutive lease-local
+	// positions, so the concatenation is a prefix of the lease's global
+	// ranks — on the lease's real nodes, not nodes 0..3.
+	for i, r := range flat {
+		if r != all[i] {
+			t.Fatalf("placed rank %d = %d, want %d (lease-local order broken)", i, r, all[i])
+		}
+	}
+	onLease := map[int]bool{}
+	for _, n := range lease.Nodes {
+		onLease[n] = true
+	}
+	for _, r := range flat {
+		if !onLease[base.NodeOf(r)] {
+			t.Errorf("global rank %d lands on node %d, outside the lease", r, base.NodeOf(r))
+		}
+	}
+	if brokers[0].Brokers < 1 || brokers[1].Brokers < 1 {
+		t.Errorf("broker assignments missing: %+v", brokers)
+	}
+	// A lease smaller than the plan cannot host it.
+	if _, _, _, err := p.PlacedUnits(base, cluster.NewLease(2)); err == nil {
+		t.Error("1-node lease accepted a 4-node plan")
+	}
+}

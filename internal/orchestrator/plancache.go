@@ -63,8 +63,11 @@ func NewPlanCache(opts SearchOptions) *PlanCache {
 
 // fingerprint derives the cache key for a spec. Cluster node identity
 // is not part of a Spec, so two leases of equal size over different
-// nodes fingerprint identically — placement never changes the cost
-// model, only counts do.
+// nodes fingerprint identically under count-based policies
+// (Spec.Placement empty) — placement then never changes the cost
+// model, only counts do. Placement-aware fleets set Spec.Placement to
+// the lease's shape, keying cached plans on it: a packed lease and a
+// fragmented one of equal size plan (and price) separately.
 func (c *PlanCache) fingerprint(s Spec) string {
 	c.mu.Lock()
 	id, ok := c.profIDs[s.Profiler]
@@ -73,8 +76,8 @@ func (c *PlanCache) fingerprint(s Spec) string {
 		c.profIDs[s.Profiler] = id
 	}
 	c.mu.Unlock()
-	return fmt.Sprintf("cl=%+v model=%+v bs=%d m=%d max=%d vpp=%d prof=%d",
-		s.Cluster, s.Model, s.GlobalBatch, s.Microbatch, s.MaxGPUs, s.VPP, id)
+	return fmt.Sprintf("cl=%+v model=%+v bs=%d m=%d max=%d vpp=%d prof=%d place=%s",
+		s.Cluster, s.Model, s.GlobalBatch, s.Microbatch, s.MaxGPUs, s.VPP, id, s.Placement)
 }
 
 // Plan returns the §4.3 plan for the spec, running the search at most

@@ -116,6 +116,35 @@ func TestPlanCacheFingerprintDiscriminates(t *testing.T) {
 	}
 }
 
+// TestPlanCacheKeyedOnPlacement: two specs identical except for the
+// lease placement shape miss each other — a "4" lease and a "2+2"
+// lease of the same size price different fabrics, so they must not
+// share a plan entry.
+func TestPlanCacheKeyedOnPlacement(t *testing.T) {
+	base := cacheSpec(t, 4, 32)
+	base.Placement = "4"
+	c := NewPlanCache(SearchOptions{})
+	ctx := context.Background()
+	if _, err := c.Plan(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	frag := base
+	frag.Placement = "2+2"
+	if _, err := c.Plan(ctx, frag); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Searches(); got != 2 {
+		t.Errorf("distinct placement shapes ran %d searches, want 2", got)
+	}
+	hits := c.Hits()
+	if _, err := c.Plan(ctx, frag); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != hits+1 {
+		t.Error("repeated placement shape missed the cache")
+	}
+}
+
 // TestPlanCacheCachesErrors: an unplannable spec fails once and the
 // failure is reused — retrying cannot make a cluster bigger.
 func TestPlanCacheCachesErrors(t *testing.T) {

@@ -21,20 +21,26 @@ import (
 //	job-depart:iter=5,job=0
 //	node-fail:iter=3,node=2
 //	node-join:iter=6,node=2
+//	priority-arrive:iter=2,job=1,class=high
+//	preempt-storm:iter=3,job=0,class=high,count=3
 //	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
 //
 // Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
 // `iter=N` is shorthand for a single iteration (and the only form the
 // fire-once kinds — failure, producer-fail, producer-join, and the
-// fleet-scope job-arrive / job-depart / node-fail / node-join —
-// accept; for fleet kinds `iter` is a fleet scheduling round). Each
-// kind accepts only the keys that affect it: `rank`, `stage`, `from`
-// and `until` belong to straggler; `factor` to the windowed kinds;
-// `downtime` to failure; `producer` to producer-fail / producer-join;
-// `job` to job-arrive / job-depart; `node` to node-fail / node-join.
+// fleet-scope job-arrive / job-depart / node-fail / node-join /
+// priority-arrive / preempt-storm — accept; for fleet kinds `iter` is
+// a fleet scheduling round). Each kind accepts only the keys that
+// affect it: `rank`, `stage`, `from` and `until` belong to straggler;
+// `factor` to the windowed kinds; `downtime` to failure; `producer`
+// to producer-fail / producer-join; `job` to the job arrival and
+// departure kinds; `node` to node-fail / node-join; `class` to
+// priority-arrive / preempt-storm; `count` to preempt-storm.
 // Duplicate keys are rejected. `rank`/`stage` default to -1 (all);
 // `factor` defaults to 2; failure `downtime` defaults to 30 simulated
-// seconds; `producer`, `job` and `node` default to 0.
+// seconds; `producer`, `job` and `node` default to 0;
+// priority-arrive `class` defaults to the job spec's own class while
+// preempt-storm defaults to high with `count` 2.
 // `random-stragglers` must be the only event in its spec — it is a
 // generator, not a timed event.
 //
@@ -122,6 +128,8 @@ var eventKeys = map[Kind]string{
 	JobDepart:         "job",
 	FleetNodeFail:     "node",
 	FleetNodeJoin:     "node",
+	PriorityArrive:    "job class",
+	PreemptStorm:      "job class count",
 }
 
 func keyAllowed(k Kind, key string) bool {
@@ -159,6 +167,12 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 		e.Kind = FleetNodeFail
 	case "node-join":
 		e.Kind = FleetNodeJoin
+	case "priority-arrive":
+		e.Kind = PriorityArrive
+	case "preempt-storm":
+		e.Kind = PreemptStorm
+		e.Class = "high"
+		e.Count = 2
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)
 	}
@@ -201,6 +215,10 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 			e.Job, err = strconv.Atoi(v)
 		case "node":
 			e.Node, err = strconv.Atoi(v)
+		case "class":
+			e.Class = v
+		case "count":
+			e.Count, err = strconv.Atoi(v)
 		default:
 			return Event{}, fmt.Errorf("unknown key %q for %s", k, kind)
 		}

@@ -31,6 +31,19 @@ func FuzzScenarioParse(f *testing.F) {
 		"node-fail:iter=3,node=2",
 		"node-join:iter=6,node=2",
 		"job-arrive:iter=0,job=1; node-fail:iter=2,node=0; node-join:iter=4,node=0",
+		// Priority-scheduler grammar.
+		"priority-arrive:iter=2,job=1,class=high",
+		"priority-arrive:iter=2,job=1",
+		"preempt-storm:iter=3,job=0,class=high,count=3",
+		"preempt-storm:iter=1,job=2",
+		"priority-arrive:iter=0,job=0,class=low; preempt-storm:iter=2,job=1,count=4",
+		// Priority near-misses: bad class, zero/huge storm, wrong keys.
+		"priority-arrive:iter=1,job=0,class=urgent",
+		"preempt-storm:iter=1,job=0,count=0",
+		"preempt-storm:iter=1,job=0,count=100000",
+		"preempt-storm:iters=1-3,job=0",
+		"job-arrive:iter=1,job=0,class=high",
+		"node-fail:iter=1,count=2",
 		"random-stragglers:seed=7,ranks=8,prob=0.3,max=3",
 		// Multi-event composition and whitespace tolerance.
 		"straggler:iters=2-4,rank=0,factor=3; failure:iter=6,downtime=20",

@@ -81,6 +81,16 @@ const (
 	// round Start; freed capacity flows to queued and elastic jobs.
 	// Fleet scope; fires once.
 	FleetNodeJoin
+	// PriorityArrive submits one instance of fleet job spec Job at
+	// round Start with priority class Class ("" inherits the spec's
+	// own class) — a targeted arrival for exercising priority
+	// schedulers. Fleet scope; fires once.
+	PriorityArrive
+	// PreemptStorm submits Count instances of fleet job spec Job at
+	// round Start, all at priority class Class (default high): a
+	// burst of urgent work that forces a priority scheduler to
+	// preempt lower-class tenants. Fleet scope; fires once.
+	PreemptStorm
 )
 
 func (k Kind) String() string {
@@ -107,6 +117,10 @@ func (k Kind) String() string {
 		return "node-fail"
 	case FleetNodeJoin:
 		return "node-join"
+	case PriorityArrive:
+		return "priority-arrive"
+	case PreemptStorm:
+		return "preempt-storm"
 	}
 	return fmt.Sprintf("scenario.Kind(%d)", int(k))
 }
@@ -123,7 +137,7 @@ func (k Kind) fireOnce() bool {
 // events; internal/fleet consumes them through FleetEvents.
 func (k Kind) FleetScope() bool {
 	switch k {
-	case JobArrive, JobDepart, FleetNodeFail, FleetNodeJoin:
+	case JobArrive, JobDepart, FleetNodeFail, FleetNodeJoin, PriorityArrive, PreemptStorm:
 		return true
 	}
 	return false
@@ -159,6 +173,16 @@ type Event struct {
 	// Node is the shared-fleet node index a FleetNodeFail /
 	// FleetNodeJoin event targets.
 	Node int
+	// Class is the priority class a PriorityArrive / PreemptStorm
+	// arrival carries: "low", "normal", "high", or "" (PriorityArrive
+	// inherits the job spec's class; PreemptStorm's parse default is
+	// high). The class names are owned by the fleet scheduler
+	// (internal/fleet.ParseClass); validation here pins the same set
+	// so a spec that parses cannot fail fleet-side.
+	Class string
+	// Count is how many instances a PreemptStorm submits, in [1,
+	// MaxStormCount].
+	Count int
 }
 
 // MaxFactor bounds every slowdown / scale multiplier. Factors beyond
@@ -167,9 +191,14 @@ type Event struct {
 // +Inf), so validation rejects them — a bound the fuzzer leans on.
 const MaxFactor = 1e9
 
+// MaxStormCount bounds PreemptStorm fan-out: each instance becomes a
+// real fleet tenant, so an absurd count turns one event into a denial
+// of service. Real bursts sit far below this.
+const MaxStormCount = 256
+
 // Validate checks one event.
 func (e Event) Validate() error {
-	if e.Kind < Straggler || e.Kind > FleetNodeJoin {
+	if e.Kind < Straggler || e.Kind > PreemptStorm {
 		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
 	}
 	if e.Start < 0 {
@@ -195,8 +224,18 @@ func (e Event) Validate() error {
 	if (e.Kind == ProducerFail || e.Kind == ProducerJoin) && e.Producer < 0 {
 		return fmt.Errorf("scenario: %s producer %d negative", e.Kind, e.Producer)
 	}
-	if (e.Kind == JobArrive || e.Kind == JobDepart) && e.Job < 0 {
+	if (e.Kind == JobArrive || e.Kind == JobDepart || e.Kind == PriorityArrive || e.Kind == PreemptStorm) && e.Job < 0 {
 		return fmt.Errorf("scenario: %s job %d negative", e.Kind, e.Job)
+	}
+	if e.Kind == PriorityArrive || e.Kind == PreemptStorm {
+		switch e.Class {
+		case "", "low", "normal", "high":
+		default:
+			return fmt.Errorf("scenario: %s class %q (want low, normal or high)", e.Kind, e.Class)
+		}
+	}
+	if e.Kind == PreemptStorm && (e.Count < 1 || e.Count > MaxStormCount) {
+		return fmt.Errorf("scenario: %s count %d must be in [1, %d]", e.Kind, e.Count, MaxStormCount)
 	}
 	if (e.Kind == FleetNodeFail || e.Kind == FleetNodeJoin) && e.Node < 0 {
 		return fmt.Errorf("scenario: %s node %d negative", e.Kind, e.Node)
@@ -345,7 +384,8 @@ func (p Perturbation) PoolEvents() []Event {
 }
 
 // FleetEvents returns the round's fleet-scope events (job-arrive,
-// job-depart, node-fail, node-join), in schedule order.
+// job-depart, node-fail, node-join, priority-arrive, preempt-storm),
+// in schedule order.
 func (p Perturbation) FleetEvents() []Event {
 	var out []Event
 	for _, e := range p.events {

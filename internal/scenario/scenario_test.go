@@ -461,3 +461,62 @@ func TestParseFleetEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestParsePriorityEvents covers the priority-scheduler grammar:
+// priority-arrive (class defaults to the spec's own) and preempt-storm
+// (class defaults to high, count to 2), both fleet-scope fire-once.
+func TestParsePriorityEvents(t *testing.T) {
+	sc, err := Parse("priority-arrive:iter=1,job=1,class=high; priority-arrive:iter=2,job=2; preempt-storm:iter=3,job=3; preempt-storm:iter=4,job=4,class=low,count=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, ok := sc.(*Schedule)
+	if !ok {
+		t.Fatalf("Parse returned %T, want *Schedule", sc)
+	}
+	evs := sched.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	want := []struct {
+		kind  Kind
+		job   int
+		class string
+		count int
+	}{
+		{PriorityArrive, 1, "high", 0},
+		{PriorityArrive, 2, "", 0}, // class inherits the job spec's own
+		{PreemptStorm, 3, "high", 2},
+		{PreemptStorm, 4, "low", 5},
+	}
+	for i, w := range want {
+		e := evs[i]
+		if e.Kind != w.kind || e.Job != w.job || e.Class != w.class || e.Count != w.count {
+			t.Errorf("event %d = %+v, want kind %v job %d class %q count %d",
+				i, e, w.kind, w.job, w.class, w.count)
+		}
+		if !w.kind.FleetScope() || !w.kind.fireOnce() {
+			t.Errorf("%v should be fleet-scope and fire-once", w.kind)
+		}
+	}
+	if got := At(sc, 3).FleetEvents(); len(got) != 1 || got[0].Kind != PreemptStorm {
+		t.Errorf("FleetEvents at round 3 = %v, want one preempt-storm", got)
+	}
+	if !At(sc, 1).Steady() {
+		t.Error("priority events perturbed a training iteration")
+	}
+
+	for _, bad := range []string{
+		"priority-arrive:iter=1,job=0,class=urgent", // unknown class
+		"preempt-storm:iter=1,job=0,count=0",        // storm needs at least one arrival
+		"preempt-storm:iter=1,job=0,count=1000",     // beyond MaxStormCount
+		"preempt-storm:iters=1-3,job=0",             // fire-once rejects windows
+		"priority-arrive:iter=1,job=0,count=2",      // count is storm-only
+		"job-arrive:iter=1,job=0,class=high",        // class is priority-only
+		"priority-arrive:iter=1,job=-1",             // negative job
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -229,23 +229,24 @@ func (j *Job) Resize(l cluster.Lease, p *orchestrator.Plan, reason string) error
 	// semantically free: a later fetch re-prepares the identical
 	// batch.
 	j.discardPrefetch()
-	sub := l.Subcluster(r.base)
-	oldCluster := r.cfg.Spec.Cluster
+	sub := r.cfg.leaseCluster(l, r.base)
+	oldCluster, oldPlace := r.cfg.Spec.Cluster, r.cfg.Spec.Placement
 	r.cfg.Spec.Cluster = sub
+	r.cfg.Spec.Placement = r.cfg.leaseShape(l)
 	r.cfg.Spec.MaxGPUs = 0
 	err := r.checkPlan(p)
 	if err == nil && p.TotalGPUs() > l.GPUs(r.base) {
 		err = fmt.Errorf("trainer: resize plan wants %d GPUs, lease has %d", p.TotalGPUs(), l.GPUs(r.base))
 	}
 	if err != nil {
-		r.cfg.Spec.Cluster = oldCluster
+		r.cfg.Spec.Cluster, r.cfg.Spec.Placement = oldCluster, oldPlace
 		return err
 	}
 	down, err := r.reconfigure(p, j.i)
 	if err != nil {
 		// The reconfiguration checkpoint failed: the job keeps its old
 		// lease and plan, so its spec must keep the old geometry too.
-		r.cfg.Spec.Cluster = oldCluster
+		r.cfg.Spec.Cluster, r.cfg.Spec.Placement = oldCluster, oldPlace
 		return err
 	}
 	lease := l

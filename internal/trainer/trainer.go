@@ -68,6 +68,13 @@ type Config struct {
 	// (*Job).Resize. Nil is the historical standalone behaviour —
 	// equivalent to a lease covering every node of Spec.Cluster.
 	Lease *cluster.Lease
+	// PlacementPricing, with a Lease, prices the run against the
+	// lease's concrete placement (cluster.Lease.Placed — a fragmented
+	// lease loses rail alignment) instead of its node count alone.
+	// The fleet's placement-scoring schedulers set it; count-based
+	// policies leave it off so equal-size leases price identically
+	// wherever their nodes land.
+	PlacementPricing bool
 
 	// Reorder enables DistTrain's dual-level data reordering (§5); off,
 	// samples are consumed in corpus order (the Megatron-LM baseline of
@@ -318,10 +325,29 @@ type Runtime struct {
 	namedRanks int
 }
 
+// leaseCluster scopes the run's cluster to a lease: its concrete
+// placement under PlacementPricing, its bare node count otherwise.
+func (cfg Config) leaseCluster(l cluster.Lease, base cluster.Cluster) cluster.Cluster {
+	if cfg.PlacementPricing {
+		return l.Placed(base)
+	}
+	return l.Subcluster(base)
+}
+
+// leaseShape is the placement shape the spec should carry for a
+// lease: meaningful only under PlacementPricing.
+func (cfg Config) leaseShape(l cluster.Lease) string {
+	if cfg.PlacementPricing {
+		return l.Shape()
+	}
+	return ""
+}
+
 // New validates the config and builds a runtime. A leased config is
 // rescoped first: the runtime's effective cluster becomes the lease's
-// subcluster, so a job on an n-node lease executes byte-identically to
-// a standalone run on an n-node cluster.
+// subcluster (or its placement-priced view under PlacementPricing),
+// so a job on an n-node lease executes byte-identically to a
+// standalone run on an n-node cluster.
 func New(cfg Config) (*Runtime, error) {
 	base := cfg.Spec.Cluster
 	if cfg.Lease != nil {
@@ -330,7 +356,8 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		lease := *cfg.Lease // defensive copy: Resize swaps the pointer
 		cfg.Lease = &lease
-		cfg.Spec.Cluster = lease.Subcluster(base)
+		cfg.Spec.Cluster = cfg.leaseCluster(lease, base)
+		cfg.Spec.Placement = cfg.leaseShape(lease)
 		cfg.Spec.MaxGPUs = 0
 		if cfg.Plan != nil && cfg.Plan.TotalGPUs() > lease.GPUs(base) {
 			return nil, fmt.Errorf("trainer: plan wants %d GPUs, lease holds %d", cfg.Plan.TotalGPUs(), lease.GPUs(base))
