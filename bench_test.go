@@ -377,22 +377,29 @@ func BenchmarkTrainSerialVsConcurrent(b *testing.B) {
 }
 
 // BenchmarkFleetThroughput sweeps the multi-tenant fleet runtime over
-// 1/4/16 concurrent jobs — identical tenants on 2-node leases, so the
+// 1/4/16/64 concurrent jobs — identical tenants on 2-node leases, so the
 // shared plan cache collapses every run to a single §4.3 search — and
 // reports aggregate training iterations per wall-clock second
 // (iters/s) and per CPU second (cpu-iters/s). On a multi-core machine
 // the aggregate wall rate should grow with the tenant count (cross-job
 // parallelism on top of each job's own rank workers). Both metrics
 // land in the `make bench-json` baseline; the `make bench-diff`
-// regression gate compares cpu-iters/s because it stays stable when
-// other tenants contend for the machine.
+// regression gate compares calibration-normalized norm-iters/s
+// because it stays stable when other tenants contend for the machine
+// or CPU frequency drifts between runs.
+//
+// Iterations per job scale inversely with the job count (floor 2) so
+// every sub-benchmark op performs comparable total work: at a uniform
+// 2 iters the jobs=1 op finished in ~3ms of CPU and its measured rate
+// jittered ±15% sample to sample, tripping the regression band, while
+// the long jobs=16/64 ops held within ±5%.
 func BenchmarkFleetThroughput(b *testing.B) {
 	corpus, err := data.NewCorpus(data.LAION400M())
 	if err != nil {
 		b.Fatal(err)
 	}
-	const itersPerJob = 2
-	for _, jobs := range []int{1, 4, 16} {
+	for _, jobs := range []int{1, 4, 16, 64} {
+		itersPerJob := max(2, 32/jobs)
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			spec := benchSpec(b, model.MLLM9B(), 2*jobs, 32)
 			tmpl := NewTrainConfig(spec, nil, corpus)
@@ -404,6 +411,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 					Iters: itersPerJob, MinNodes: 2, MaxNodes: 2,
 				})
 			}
+			spinBefore := spinRate()
 			b.ResetTimer()
 			cpuStart := processCPUTime()
 			for i := 0; i < b.N; i++ {
@@ -420,13 +428,58 @@ func BenchmarkFleetThroughput(b *testing.B) {
 					b.Fatalf("identical tenants ran %d plan searches", res.PlanSearches)
 				}
 			}
+			cpu := processCPUTime() - cpuStart
+			b.StopTimer()
+			spin := (spinBefore + spinRate()) / 2
 			totalIters := float64(jobs * itersPerJob * b.N)
 			b.ReportMetric(totalIters/b.Elapsed().Seconds(), "iters/s")
-			if cpu := processCPUTime() - cpuStart; cpu > 0 {
-				b.ReportMetric(totalIters/cpu.Seconds(), "cpu-iters/s")
+			if cpu > 0 {
+				rate := totalIters / cpu.Seconds()
+				b.ReportMetric(rate, "cpu-iters/s")
+				if spin > 0 {
+					b.ReportMetric(rate*refSpinRate/spin, "norm-iters/s")
+				}
 			}
 		})
 	}
+}
+
+// refSpinRate pins the nominal machine the normalized throughput is
+// expressed against: norm-iters/s equals cpu-iters/s on a machine
+// whose calibration spin runs at 1e9 ops per CPU second. The constant
+// cancels in any baseline-vs-run ratio; it only sets the scale.
+const refSpinRate = 1e9
+
+var spinSink uint64
+
+// spinRate measures the machine's sustained integer-op rate with a
+// fixed ~70ms xorshift spin (CPU time, not wall clock). CPU frequency
+// scaling and noisy-neighbor throttling move a single-core runner's
+// cpu-iters/s by tens of percent between runs — uniformly across job
+// counts — which is exactly the drift a regression gate must not fail
+// on. Each fleet sample divides its rate by the mean of a spin run
+// immediately before and immediately after its timed loop, so the
+// calibration sees the same fast-or-throttled machine state as the
+// sample it normalizes and the state cancels out of the reported
+// norm-iters/s. (A single peak calibration per process does not work:
+// best-of-N spins always find the machine's fast state even when the
+// benchmark windows ran throttled, which left ±15% state drift in the
+// normalized rate.)
+func spinRate() float64 {
+	const n = 1 << 25
+	start := processCPUTime()
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink = x
+	d := (processCPUTime() - start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return n / d
 }
 
 // BenchmarkTrainerIteration measures one full end-to-end DistTrain

@@ -13,7 +13,7 @@ func TestParseBenchOutput(t *testing.T) {
 goarch: amd64
 pkg: disttrain
 BenchmarkPlanSearch/sequential-8         	       1	 123456789 ns/op
-BenchmarkFleetThroughput/jobs=4-8        	       1	   9100509 ns/op	       879.1 iters/s
+BenchmarkFleetThroughput/jobs=4-8        	       1	   9100509 ns/op	       879.1 iters/s	  120000 B/op	    3500 allocs/op
 BenchmarkVPPAblation/vpp=2-8             	       1	      2200 ns/op	        14.5 bubble%
 | table row | that is not a benchmark |
 BenchmarkBroken-8                        	     nan	 123 ns/op
@@ -34,13 +34,22 @@ ok  	disttrain	1.234s
 	if got := b.Metrics["iters/s"]; got != 879.1 {
 		t.Errorf("iters/s metric = %g", got)
 	}
+	if got := b.Metrics["allocs/op"]; got != 3500 {
+		t.Errorf("allocs/op metric = %g", got)
+	}
+	if got := b.Metrics["B/op"]; got != 120000 {
+		t.Errorf("B/op metric = %g", got)
+	}
 	if got := report.Benchmarks[2].Metrics["bubble%"]; got != 14.5 {
 		t.Errorf("bubble%% metric = %g", got)
 	}
 }
 
 // TestParseMergesRepeatedRuns: -count=N produces repeated names; the
-// report keeps one entry per name, the fastest sample.
+// report keeps one entry per name — the fastest wall-clock sample for
+// plain benchmarks, the median gated rate (norm-iters/s preferred
+// over cpu-iters/s) when the samples report a throughput metric, even
+// if that sample was not the fastest by wall clock.
 func TestParseMergesRepeatedRuns(t *testing.T) {
 	out := `BenchmarkFleetThroughput/jobs=1-8 	 1 	 4000000 ns/op 	 500.0 iters/s
 BenchmarkFleetThroughput/jobs=1-8 	 1 	 3800000 ns/op 	 526.0 iters/s
@@ -57,6 +66,36 @@ BenchmarkOther-8 	 1 	 100 ns/op
 	best := report.Benchmarks[0]
 	if best.NsPerOp != 3800000 || best.Metrics["iters/s"] != 526.0 {
 		t.Errorf("kept sample %+v, want the fastest (3800000 ns/op, 526 iters/s)", best)
+	}
+}
+
+// TestParseMergesByGatedRate: when repeated samples report the gated
+// throughput metrics the collapse keeps the median rate, not the
+// fastest wall clock — the spin-normalized per-sample jitter is
+// roughly symmetric, so the median is the stable representative while
+// either extreme wobbles run to run. The kept entry is one whole
+// sample: its allocs/op belongs to the same run as its rate.
+func TestParseMergesByGatedRate(t *testing.T) {
+	out := `BenchmarkFleetThroughput/jobs=16-8 	 40 	 3000000 ns/op 	 5000.0 cpu-iters/s 	 9000.0 norm-iters/s 	 6313 allocs/op
+BenchmarkFleetThroughput/jobs=16-8 	 40 	 2900000 ns/op 	 5200.0 cpu-iters/s 	 8700.0 norm-iters/s 	 6313 allocs/op
+BenchmarkFleetThroughput/jobs=16-8 	 40 	 3100000 ns/op 	 4800.0 cpu-iters/s 	 9400.0 norm-iters/s 	 6313 allocs/op
+BenchmarkRawOnly-8 	 40 	 2000000 ns/op 	 700.0 cpu-iters/s
+BenchmarkRawOnly-8 	 40 	 1900000 ns/op 	 650.0 cpu-iters/s
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 merged: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	fleet := report.Benchmarks[0]
+	if fleet.Metrics[normUnit] != 9000.0 || fleet.NsPerOp != 3000000 {
+		t.Errorf("kept sample %+v, want median norm-iters/s (9000, not fastest wall clock)", fleet)
+	}
+	raw := report.Benchmarks[1]
+	if raw.Metrics[throughputUnit] != 700.0 {
+		t.Errorf("kept sample %+v, want upper-median cpu-iters/s (700) absent norm-iters/s", raw)
 	}
 }
 
@@ -123,7 +162,7 @@ func TestDiffBand(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			var buf strings.Builder
-			err := diff(&buf, base, tc.cur, tc.band)
+			err := diff(&buf, base, tc.cur, tc.band, 10)
 			if tc.ok && err != nil {
 				t.Fatalf("diff failed: %v\n%s", err, buf.String())
 			}
@@ -137,8 +176,89 @@ func TestDiffBand(t *testing.T) {
 	// error, not a pass.
 	empty := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkX-8", Iterations: 1, NsPerOp: 1}}}
 	var buf strings.Builder
-	if err := diff(&buf, empty, empty, 10); err == nil {
+	if err := diff(&buf, empty, empty, 10, 10); err == nil {
 		t.Fatal("empty baseline passed the gate")
+	}
+}
+
+// TestDiffPrefersNormalizedUnit: when the baseline records the
+// calibration-normalized rate, the gate compares it and ignores raw
+// cpu-iters/s drift (a throttled runner moves cpu-iters/s uniformly;
+// the normalized rate cancels machine speed).
+func TestDiffPrefersNormalizedUnit(t *testing.T) {
+	bench := func(cpu, norm float64) Benchmark {
+		return Benchmark{Name: "BenchmarkFleetThroughput/jobs=16-8", Iterations: 1, NsPerOp: 1,
+			Metrics: map[string]float64{throughputUnit: cpu, normUnit: norm}}
+	}
+	base := &Report{Benchmarks: []Benchmark{bench(1000, 700)}}
+
+	// Raw rate 40% down (thermal drift) but normalized stable: passes.
+	var buf strings.Builder
+	if err := diff(&buf, base, &Report{Benchmarks: []Benchmark{bench(600, 690)}}, 10, 10); err != nil {
+		t.Fatalf("normalized-stable run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), normUnit) {
+		t.Errorf("diff did not compare %s:\n%s", normUnit, buf.String())
+	}
+	// Raw rate identical but normalized regressed: fails.
+	buf.Reset()
+	if err := diff(&buf, base, &Report{Benchmarks: []Benchmark{bench(1000, 500)}}, 10, 10); err == nil {
+		t.Fatalf("normalized regression passed\n%s", buf.String())
+	}
+}
+
+// TestDiffAllocGate pins the one-sided allocation gate: allocating
+// more than band percent over the baseline fails, allocating less (or
+// slightly more) passes, and a run missing allocs/op for a baseline
+// that records it fails with a -benchmem hint.
+func TestDiffAllocGate(t *testing.T) {
+	bench := func(name string, rate, allocs float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{
+			throughputUnit: rate, allocUnit: allocs,
+		}}
+	}
+	base := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkFleetThroughput/jobs=16-8", 1000, 8000),
+	}}
+
+	for name, tc := range map[string]struct {
+		cur  *Report
+		ok   bool
+		want string // substring the diff output must contain
+	}{
+		"fewer allocations pass": {
+			cur: &Report{Benchmarks: []Benchmark{bench("BenchmarkFleetThroughput/jobs=16-8", 1000, 4000)}},
+			ok:  true, want: "4000 allocs/op",
+		},
+		"small growth inside band passes": {
+			cur: &Report{Benchmarks: []Benchmark{bench("BenchmarkFleetThroughput/jobs=16-8", 1000, 8400)}},
+			ok:  true, want: "+5.0%",
+		},
+		"regression over band fails": {
+			cur: &Report{Benchmarks: []Benchmark{bench("BenchmarkFleetThroughput/jobs=16-8", 1000, 9000)}},
+			ok:  false, want: "regression limit",
+		},
+		"missing allocs metric fails": {
+			cur: &Report{Benchmarks: []Benchmark{{
+				Name: "BenchmarkFleetThroughput/jobs=16-8", Iterations: 1, NsPerOp: 1,
+				Metrics: map[string]float64{throughputUnit: 1000},
+			}}},
+			ok: false, want: "-benchmem",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf strings.Builder
+			err := diff(&buf, base, tc.cur, 25, 10)
+			if tc.ok && err != nil {
+				t.Fatalf("diff failed: %v\n%s", err, buf.String())
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("diff passed, want failure\n%s", buf.String())
+			}
+			if !strings.Contains(buf.String(), tc.want) {
+				t.Errorf("diff output missing %q:\n%s", tc.want, buf.String())
+			}
+		})
 	}
 }
 
@@ -164,7 +284,7 @@ func TestDiffRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := diff(&buf, loaded, cur, 10); err != nil {
+	if err := diff(&buf, loaded, cur, 10, 10); err != nil {
 		t.Fatalf("round-trip diff failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "+4.0%") {

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"disttrain"
+	"disttrain/internal/prof"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "per-round job-step worker pool size (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write the merged fleet timeline (Chrome trace format) to this file")
 	)
+	profile := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	m, err := modelByName(*modelName)
@@ -119,7 +121,14 @@ func main() {
 		cfg.Scenario = sc
 	}
 
+	stopProfile, err := profile.Start()
+	if err != nil {
+		fatal(err)
+	}
 	res, err := disttrain.RunFleet(cfg)
+	if perr := stopProfile(); perr != nil {
+		fatal(perr)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"disttrain"
+	"disttrain/internal/prof"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 		preproc   = flag.String("preproc", "", "comma-separated producer addresses: source microbatches from a live preprocessing pool")
 		localProd = flag.Int("local-producers", 0, "run N in-process preprocessing producers and source microbatches from them")
 	)
+	profile := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	m, err := modelByName(*modelName)
@@ -174,7 +176,14 @@ func main() {
 	}
 
 	fmt.Println(plan)
+	stopProfile, err := profile.Start()
+	if err != nil {
+		fatal(err)
+	}
 	res, err := disttrain.Train(cfg, *iters)
+	if perr := stopProfile(); perr != nil {
+		fatal(perr)
+	}
 	if err != nil {
 		fatal(err)
 	}

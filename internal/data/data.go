@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"disttrain/internal/model"
 )
@@ -79,13 +80,19 @@ func (s Sample) TextTokens() int {
 // ImageTokenSizes returns the token count of each image subsequence in
 // order.
 func (s Sample) ImageTokenSizes() []int {
-	var out []int
+	return s.AppendImageTokens(nil)
+}
+
+// AppendImageTokens appends the token count of each image subsequence,
+// in order, to dst and returns the extended slice. Hot paths pass a
+// reused buffer (dst[:0]) to price samples without allocating.
+func (s Sample) AppendImageTokens(dst []int) []int {
 	for _, ss := range s.Subsequences {
 		if ss.Modality == Image {
-			out = append(out, ss.Tokens)
+			dst = append(dst, ss.Tokens)
 		}
 	}
-	return out
+	return dst
 }
 
 // NumImages returns the image subsequence count.
@@ -114,6 +121,15 @@ func (s Sample) TotalImageTokens() int {
 // characterisation.
 func (s Sample) Shape() model.SampleShape {
 	return model.SampleShape{ImageTokens: s.ImageTokenSizes(), GenImages: s.GenImages}
+}
+
+// ShapeInto is the allocation-free variant of Shape: the shape's
+// ImageTokens field is built in buf (grown as needed). The returned
+// shape aliases the buffer, so it is only valid until the caller's
+// next ShapeInto call with the same buffer; callees must not retain
+// it.
+func (s Sample) ShapeInto(buf []int) model.SampleShape {
+	return model.SampleShape{ImageTokens: s.AppendImageTokens(buf[:0]), GenImages: s.GenImages}
 }
 
 // PixelBytes returns the decoded RGB payload size of all source images,
@@ -191,10 +207,22 @@ func (sp Spec) Validate() error {
 	return nil
 }
 
-// Corpus is a deterministic, indexable synthetic dataset.
+// Corpus is a deterministic, indexable synthetic dataset. Sample
+// results are memoized: materialising a sample seeds a fresh legacy
+// math/rand generator, which dominates CPU profiles of the training
+// loop, while the same indices are requested over and over (prefetch,
+// calibration, many fleet tenants sharing one corpus). The memo is
+// bounded and safe for concurrent use.
 type Corpus struct {
 	spec Spec
+
+	mu   sync.RWMutex
+	memo map[int64]Sample
 }
+
+// memoLimit bounds the sample memo; on overflow the map is dropped and
+// rebuilt, keeping steady-state memory flat for arbitrarily long runs.
+const memoLimit = 1 << 16
 
 // NewCorpus builds a corpus from a validated spec.
 func NewCorpus(spec Spec) (*Corpus, error) {
@@ -222,11 +250,32 @@ func logNormal(rng *rand.Rand, median, sigma float64) float64 {
 	return median * math.Exp(sigma*rng.NormFloat64())
 }
 
-// Sample materialises the sample at the given index. The construction
-// interleaves text and image subsequences until the fixed sequence
-// length is reached, mirroring §2.3's packing of modality subsequences
-// into fixed-length training sequences.
+// Sample materialises the sample at the given index, serving repeats
+// from the memo. Callers share the returned sample's Subsequences
+// slice and must treat it as immutable (scenario shifts copy before
+// mutating).
 func (c *Corpus) Sample(index int64) Sample {
+	c.mu.RLock()
+	s, ok := c.memo[index]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = c.generate(index)
+	c.mu.Lock()
+	if c.memo == nil || len(c.memo) >= memoLimit {
+		c.memo = make(map[int64]Sample, 1024)
+	}
+	c.memo[index] = s
+	c.mu.Unlock()
+	return s
+}
+
+// generate materialises the sample at the given index from scratch.
+// The construction interleaves text and image subsequences until the
+// fixed sequence length is reached, mirroring §2.3's packing of
+// modality subsequences into fixed-length training sequences.
+func (c *Corpus) generate(index int64) Sample {
 	rng := c.rngFor(index)
 	sp := c.spec
 	s := Sample{Index: index, SeqLen: sp.SeqLen}

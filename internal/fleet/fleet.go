@@ -196,6 +196,16 @@ type runner struct {
 	admitted   int // tenants admitted this round
 	retired    int // tenants retired this round (their nodes freed)
 	fleetTrace *metrics.Trace
+
+	// queueDirty marks that an Order key of some queued tenant may have
+	// changed since the last sortQueue: set by arrivals, requeues,
+	// preemptions and round-start aging; cleared by sortQueue. When the
+	// flag is clear the queue is already in scheduler order (popping the
+	// head preserves it), so admit's per-pass stable re-sort — the
+	// identity on a sorted queue — is skipped entirely.
+	queueDirty bool
+	views      map[*tenant]JobView // sortQueue scratch, reused across sorts
+	runBuf     []*tenant           // running() scratch, reused across rounds
 }
 
 // Run executes the fleet to completion: every submitted (and
@@ -310,8 +320,11 @@ func Run(cfg Config) (*Result, error) {
 		f.admitted, f.retired = 0, 0
 		// Queue aging: tenants still queued from earlier rounds have
 		// waited one more full round (this round's arrivals start at 0).
+		// Waited is an Order key (aging promotion), so aging dirties the
+		// queue order.
 		for _, t := range f.queue {
 			t.waited++
+			f.queueDirty = true
 		}
 		f.enqueueArrivals()
 		f.applyEvents()
@@ -421,6 +434,7 @@ func (f *runner) newTenant(si int, class Class) {
 	}
 	f.tenants = append(f.tenants, t)
 	f.queue = append(f.queue, t)
+	f.queueDirty = true
 	f.note("job-arrive", map[string]any{"job": t.id, "name": t.name, "class": t.class.String()})
 }
 
@@ -528,6 +542,7 @@ func (f *runner) requeueFront(t *tenant) {
 	f.queue = append(f.queue, nil)
 	copy(f.queue[at+1:], f.queue[at:])
 	f.queue[at] = t
+	f.queueDirty = true
 }
 
 // departJob terminates tenant id at this round.
@@ -584,16 +599,28 @@ func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error)
 
 // sortQueue orders the admission queue by the scheduler's Order
 // (stable, so always-false comparators keep strict submission order).
+// No-op while queueDirty is clear: removals keep a sorted queue
+// sorted, so only key mutations (arrivals, requeues, preemptions,
+// aging) force a re-sort. The view snapshots live in a reused map so
+// steady-state rounds sort without allocating.
 func (f *runner) sortQueue() {
+	if !f.queueDirty {
+		return
+	}
+	f.queueDirty = false
 	if len(f.queue) < 2 {
 		return
 	}
-	views := make(map[*tenant]JobView, len(f.queue))
+	if f.views == nil {
+		f.views = make(map[*tenant]JobView, len(f.queue))
+	} else {
+		clear(f.views)
+	}
 	for _, t := range f.queue {
-		views[t] = f.view(t)
+		f.views[t] = f.view(t)
 	}
 	sort.SliceStable(f.queue, func(i, j int) bool {
-		return f.sched.Order(views[f.queue[i]], views[f.queue[j]])
+		return f.sched.Order(f.views[f.queue[i]], f.views[f.queue[j]])
 	})
 }
 
@@ -716,14 +743,17 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 	return nil
 }
 
-// running returns the running tenants in submission order.
+// running returns the running tenants in submission order. The
+// returned slice aliases a runner-owned scratch buffer valid until the
+// next call — callers never hold it across another running() call.
 func (f *runner) running() []*tenant {
-	var out []*tenant
+	out := f.runBuf[:0]
 	for _, t := range f.tenants {
 		if t.state == stateRunning {
 			out = append(out, t)
 		}
 	}
+	f.runBuf = out
 	return out
 }
 

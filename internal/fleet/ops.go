@@ -154,6 +154,7 @@ func (o schedOps) Preempt(id int, reason string) bool {
 	t.waited = 0
 	t.preempts++
 	f.queue = append(f.queue, t)
+	f.queueDirty = true
 	f.note("job-preempt", map[string]any{"job": t.id, "reason": reason})
 	return true
 }

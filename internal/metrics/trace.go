@@ -6,7 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Chrome-trace-format timeline emission: the runtime records every
@@ -31,14 +33,84 @@ type TraceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// Trace accumulates trace events; safe for concurrent use.
+// Trace accumulates trace events; safe for concurrent use. The
+// recorder is sharded: every PID lane owns its own append buffer and
+// lock, so concurrent writers on different lanes (DP-rank workers,
+// fleet tenants) never contend on a global mutex. A global atomic
+// sequence number stamps every event, and reads merge the lanes by
+// sequence — exactly the recorder's append order — so flush output is
+// byte-identical to the single-buffer recorder this replaces.
 type Trace struct {
-	mu     sync.Mutex
-	events []TraceEvent
+	mu    sync.RWMutex // guards the lane table, not the events
+	lanes map[int]*traceLane
+
+	seq    atomic.Uint64
+	count  atomic.Int64
+	maxPID atomic.Int64
+}
+
+// traceLane is one PID's private append buffer.
+type traceLane struct {
+	mu  sync.Mutex
+	evs []seqEvent
+}
+
+// seqEvent pairs an event with its global append sequence.
+type seqEvent struct {
+	seq uint64
+	ev  TraceEvent
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
+
+// lane returns PID's lane, creating it on first use.
+func (t *Trace) lane(pid int) *traceLane {
+	t.mu.RLock()
+	l := t.lanes[pid]
+	t.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l = t.lanes[pid]; l != nil {
+		return l
+	}
+	if t.lanes == nil {
+		t.lanes = make(map[int]*traceLane)
+	}
+	l = &traceLane{}
+	t.lanes[pid] = l
+	return l
+}
+
+// bumpMaxPID raises the incremental MaxPID watermark to at least pid.
+func (t *Trace) bumpMaxPID(pid int) {
+	for {
+		cur := t.maxPID.Load()
+		if int64(pid) <= cur || t.maxPID.CompareAndSwap(cur, int64(pid)) {
+			return
+		}
+	}
+}
+
+// Reserve pre-grows PID's lane for n more events without recording
+// anything — callers that know the run length (iterations × ops per
+// iteration) preallocate capacity instead of amortized re-growing.
+func (t *Trace) Reserve(pid, n int) {
+	if n <= 0 {
+		return
+	}
+	l := t.lane(pid)
+	l.mu.Lock()
+	if free := cap(l.evs) - len(l.evs); free < n {
+		grown := make([]seqEvent, len(l.evs), len(l.evs)+n)
+		copy(grown, l.evs)
+		l.evs = grown
+	}
+	l.mu.Unlock()
+}
 
 // Complete records a duration event. start and dur are in simulated
 // seconds; the trace stores microseconds.
@@ -57,37 +129,53 @@ func (t *Trace) NameProcess(pid int, name string) {
 }
 
 func (t *Trace) add(ev TraceEvent) {
-	t.mu.Lock()
-	t.events = append(t.events, ev)
-	t.mu.Unlock()
+	seq := t.seq.Add(1) - 1
+	l := t.lane(ev.PID)
+	l.mu.Lock()
+	l.evs = append(l.evs, seqEvent{seq, ev})
+	l.mu.Unlock()
+	t.count.Add(1)
+	t.bumpMaxPID(ev.PID)
 }
 
 // Len returns the recorded event count.
 func (t *Trace) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	return int(t.count.Load())
 }
 
-// Events returns a snapshot of the recorded events.
+// Events returns a snapshot of the recorded events in append order.
 func (t *Trace) Events() []TraceEvent {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]TraceEvent(nil), t.events...)
+	return t.merged()
+}
+
+// merged collects every lane and restores the global append order by
+// sequence number.
+func (t *Trace) merged() []TraceEvent {
+	t.mu.RLock()
+	lanes := make([]*traceLane, 0, len(t.lanes))
+	for _, l := range t.lanes {
+		lanes = append(lanes, l)
+	}
+	t.mu.RUnlock()
+	all := make([]seqEvent, 0, t.count.Load())
+	for _, l := range lanes {
+		l.mu.Lock()
+		all = append(all, l.evs...)
+		l.mu.Unlock()
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	out := make([]TraceEvent, len(all))
+	for i, se := range all {
+		out[i] = se.ev
+	}
+	return out
 }
 
 // MaxPID returns the highest process ID any recorded event uses (0 for
-// an empty trace) — the lane width a merge must step over.
+// an empty trace) — the lane width a merge must step over. Tracked
+// incrementally; O(1).
 func (t *Trace) MaxPID() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	max := 0
-	for _, ev := range t.events {
-		if ev.PID > max {
-			max = ev.PID
-		}
-	}
-	return max
+	return int(t.maxPID.Load())
 }
 
 // AppendOffset merges another trace into this one as a block of
@@ -97,9 +185,17 @@ func (t *Trace) MaxPID() int {
 // it to fold per-job timelines into one fleet Chrome trace — job j's
 // lanes land at [base_j, base_j + MaxPID_j], disjoint from every other
 // tenant's. Deterministic: same src contents and arguments, same
-// appended events.
+// appended events. Bulk: one contiguous sequence block is claimed for
+// the whole merge and each destination lane is locked exactly once.
 func (t *Trace) AppendOffset(src *Trace, pidBase int, prefix string) {
-	for _, ev := range src.Events() {
+	evs := src.merged()
+	if len(evs) == 0 {
+		return
+	}
+	base := t.seq.Add(uint64(len(evs))) - uint64(len(evs))
+	perLane := make(map[int][]seqEvent)
+	maxPID := 0
+	for i, ev := range evs {
 		ev.PID += pidBase
 		if ev.Ph == "M" && ev.Name == "process_name" && prefix != "" {
 			args := make(map[string]any, len(ev.Args))
@@ -111,15 +207,24 @@ func (t *Trace) AppendOffset(src *Trace, pidBase int, prefix string) {
 			}
 			ev.Args = args
 		}
-		t.add(ev)
+		if ev.PID > maxPID {
+			maxPID = ev.PID
+		}
+		perLane[ev.PID] = append(perLane[ev.PID], seqEvent{base + uint64(i), ev})
 	}
+	for pid, run := range perLane {
+		l := t.lane(pid)
+		l.mu.Lock()
+		l.evs = append(l.evs, run...)
+		l.mu.Unlock()
+	}
+	t.count.Add(int64(len(evs)))
+	t.bumpMaxPID(maxPID)
 }
 
 // WriteJSON emits the Chrome trace file ({"traceEvents": [...]}).
 func (t *Trace) WriteJSON(w io.Writer) error {
-	t.mu.Lock()
-	events := append([]TraceEvent(nil), t.events...)
-	t.mu.Unlock()
+	events := t.merged()
 	if events == nil {
 		events = []TraceEvent{}
 	}

@@ -65,3 +65,102 @@ func TestTraceConcurrentAdds(t *testing.T) {
 		t.Errorf("lost events under concurrency: %d", tr.Len())
 	}
 }
+
+// TestTraceShardedLanes pins the sharded recorder's invariants under
+// concurrent writers on distinct PID lanes: no event lost, MaxPID
+// tracked incrementally, and each lane's events surface in that lane's
+// append order (writers on different lanes interleave by the global
+// sequence, but one writer's own events never reorder).
+func TestTraceShardedLanes(t *testing.T) {
+	tr := NewTrace()
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Complete("op", "x", w, 0, float64(i), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != writers*per {
+		t.Fatalf("lost events: %d of %d", tr.Len(), writers*per)
+	}
+	if tr.MaxPID() != writers-1 {
+		t.Errorf("MaxPID = %d, want %d", tr.MaxPID(), writers-1)
+	}
+	next := make([]int, writers)
+	for _, ev := range tr.Events() {
+		if int(ev.TS) != next[ev.PID]*1e6 {
+			t.Fatalf("lane %d out of order: event ts %v, want %d", ev.PID, ev.TS, next[ev.PID])
+		}
+		next[ev.PID]++
+	}
+	for w, n := range next {
+		if n != per {
+			t.Errorf("lane %d surfaced %d events, want %d", w, n, per)
+		}
+	}
+}
+
+// TestTraceReserve: pre-growing a lane records nothing, and the
+// reserved capacity absorbs that many appends without reallocating.
+func TestTraceReserve(t *testing.T) {
+	tr := NewTrace()
+	tr.Reserve(3, 64)
+	if tr.Len() != 0 {
+		t.Fatalf("Reserve recorded %d events", tr.Len())
+	}
+	if tr.MaxPID() != 0 {
+		t.Fatalf("Reserve moved MaxPID to %d", tr.MaxPID())
+	}
+	l := tr.lane(3)
+	if cap(l.evs) < 64 {
+		t.Fatalf("reserved capacity %d, want >= 64", cap(l.evs))
+	}
+	base := cap(l.evs)
+	for i := 0; i < 64; i++ {
+		tr.Complete("op", "x", 3, 0, float64(i), 1)
+	}
+	if cap(l.evs) != base {
+		t.Errorf("lane regrew from %d to %d despite the reservation", base, cap(l.evs))
+	}
+	if tr.Len() != 64 || tr.MaxPID() != 3 {
+		t.Errorf("Len=%d MaxPID=%d after 64 appends to lane 3", tr.Len(), tr.MaxPID())
+	}
+	tr.Reserve(3, -1) // no-op, must not shrink or panic
+	if cap(l.evs) != base {
+		t.Errorf("Reserve(-1) changed capacity")
+	}
+}
+
+// TestTraceDeterministicBytes: two traces recording the same event
+// sequence — whatever their lane layout — serialize byte-identically.
+// This is the recorder-level half of the fleet's merged-trace
+// determinism gate.
+func TestTraceDeterministicBytes(t *testing.T) {
+	record := func() *Trace {
+		tr := NewTrace()
+		tr.NameProcess(0, "runtime")
+		for i := 0; i < 50; i++ {
+			pid := i % 3
+			tr.Complete("op", "x", pid, i%2, float64(i), 0.5)
+			if i%7 == 0 {
+				tr.Instant("mark", "x", pid, float64(i), map[string]any{"i": i})
+			}
+		}
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := record().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same recording serialized differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

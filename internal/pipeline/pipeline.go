@@ -196,10 +196,9 @@ type opRef struct {
 	kind  OpKind
 }
 
-// stageProgram returns the fixed op order for one stage under the
-// schedule.
-func stageProgram(sch Schedule, stage, stages, l int) []opRef {
-	prog := make([]opRef, 0, 2*l)
+// appendStageProgram appends one stage's fixed op order to prog, so
+// Simulate can lay all stage programs out in a single backing slice.
+func appendStageProgram(prog []opRef, sch Schedule, stage, stages, l int) []opRef {
 	switch sch {
 	case GPipe:
 		for m := 0; m < l; m++ {
@@ -242,12 +241,22 @@ func Simulate(sch Schedule, w Work) (*Result, error) {
 	}
 	S, l := w.Stages(), w.Microbatches()
 
-	end := make(map[opRef]float64, 2*S*l)
+	// Op completion times in flat slices indexed by stage*l+mb — the
+	// map this replaces was a top allocation and hash-cost site in the
+	// rank workers' profile. done marks executed ops (an end time of 0
+	// is legal for zero-duration work).
+	endF := make([]float64, S*l)
+	endB := make([]float64, S*l)
+	doneF := make([]bool, S*l)
+	doneB := make([]bool, S*l)
+	progBacking := make([]opRef, 0, 2*S*l)
 	progs := make([][]opRef, S)
 	pos := make([]int, S) // next unexecuted op per stage
 	stageClock := make([]float64, S)
 	for s := 0; s < S; s++ {
-		progs[s] = stageProgram(sch, s, S, l)
+		start := len(progBacking)
+		progBacking = appendStageProgram(progBacking, sch, s, S, l)
+		progs[s] = progBacking[start:len(progBacking):len(progBacking)]
 	}
 
 	duration := func(r opRef) float64 {
@@ -256,25 +265,25 @@ func Simulate(sch Schedule, w Work) (*Result, error) {
 		}
 		return w.Bwd[r.stage][r.mb]
 	}
-	// depEnd returns the cross-stage dependency completion time, or -1
-	// if the dependency has not executed yet.
+	// depEnd returns the cross-stage dependency completion time; ok is
+	// false if the dependency has not executed yet.
 	depEnd := func(r opRef) (float64, bool) {
 		if r.kind == Forward {
 			if r.stage == 0 {
 				return 0, true
 			}
-			e, ok := end[opRef{r.stage - 1, r.mb, Forward}]
-			return e + w.p2p(r.stage-1), ok
+			i := (r.stage-1)*l + r.mb
+			return endF[i] + w.p2p(r.stage-1), doneF[i]
 		}
 		if r.stage == S-1 {
-			e, ok := end[opRef{r.stage, r.mb, Forward}]
-			return e, ok
+			i := r.stage*l + r.mb
+			return endF[i], doneF[i]
 		}
-		e, ok := end[opRef{r.stage + 1, r.mb, Backward}]
-		return e + w.p2p(r.stage), ok
+		i := (r.stage+1)*l + r.mb
+		return endB[i] + w.p2p(r.stage), doneB[i]
 	}
 
-	res := &Result{Schedule: sch, Work: w, StageBusy: make([]float64, S)}
+	res := &Result{Schedule: sch, Work: w, StageBusy: make([]float64, S), Ops: make([]Op, 0, 2*S*l)}
 	remaining := 2 * S * l
 	for remaining > 0 {
 		advanced := false
@@ -288,7 +297,13 @@ func Simulate(sch Schedule, w Work) (*Result, error) {
 				start := math.Max(stageClock[s], dep)
 				d := duration(r)
 				finish := w.finish(s, start, d)
-				end[r] = finish
+				if r.kind == Forward {
+					endF[r.stage*l+r.mb] = finish
+					doneF[r.stage*l+r.mb] = true
+				} else {
+					endB[r.stage*l+r.mb] = finish
+					doneB[r.stage*l+r.mb] = true
+				}
 				stageClock[s] = finish
 				res.StageBusy[s] += busy(start, finish, d, w.rate(s))
 				res.Ops = append(res.Ops, Op{Stage: s, MB: r.mb, Kind: r.kind, Start: start, End: finish})

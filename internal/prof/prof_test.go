@@ -1,0 +1,81 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// register builds a Flags on a private FlagSet with the given values
+// parsed, the way a CLI invocation would.
+func register(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	mtx := filepath.Join(dir, "mutex.pprof")
+	f := register(t,
+		"-cpuprofile", cpu, "-memprofile", mem, "-mutexprofile", mtx)
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles have something to describe.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, mtx} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestNoFlagsIsNoop(t *testing.T) {
+	f := register(t)
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	f := register(t, "-cpuprofile", filepath.Join(t.TempDir(), "missing", "cpu.pprof"))
+	if _, err := f.Start(); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
+	}
+}
+
+func TestStopFailsOnBadMemPath(t *testing.T) {
+	f := register(t, "-memprofile", filepath.Join(t.TempDir(), "missing", "mem.pprof"))
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("unwritable mem profile path accepted")
+	}
+}

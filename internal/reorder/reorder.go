@@ -27,6 +27,7 @@ import (
 // g consumes the g-th contiguous block of the returned order.
 //
 // size must be non-negative; ties keep the original order (stable).
+// size is evaluated exactly once per item.
 func IntraReorder[T any](items []T, size func(T) float64, m int) (ordered []T, groups [][]T, err error) {
 	if m <= 0 {
 		return nil, nil, fmt.Errorf("reorder: DP size %d must be positive", m)
@@ -34,33 +35,202 @@ func IntraReorder[T any](items []T, size func(T) float64, m int) (ordered []T, g
 	if len(items) == 0 {
 		return nil, make([][]T, m), nil
 	}
-	idx := make([]int, len(items))
-	for i := range idx {
-		idx[i] = i
+	sizes := make([]float64, len(items))
+	for i := range items {
+		sizes[i] = size(items[i])
 	}
-	// Sort descending by size (line 3); stable so equal sizes keep
-	// corpus order and the result is deterministic.
-	sort.SliceStable(idx, func(a, b int) bool {
-		return size(items[idx[a]]) > size(items[idx[b]])
-	})
-
+	var p Partitioner
+	idxGroups, err := p.Partition(sizes, m)
+	if err != nil {
+		return nil, nil, err
+	}
 	groups = make([][]T, m)
-	loads := make([]float64, m)
-	for _, i := range idx {
-		min := 0
-		for g := 1; g < m; g++ {
-			if loads[g] < loads[min] {
-				min = g
-			}
-		}
-		groups[min] = append(groups[min], items[i])
-		loads[min] += size(items[i])
-	}
 	ordered = make([]T, 0, len(items))
-	for g := 0; g < m; g++ {
+	for g, ig := range idxGroups {
+		groups[g] = make([]T, len(ig))
+		for j, i := range ig {
+			groups[g][j] = items[i]
+		}
 		ordered = append(ordered, groups[g]...)
 	}
 	return ordered, groups, nil
+}
+
+// Partitioner runs Algorithm 1's LPT partition over item indices with
+// all scratch (index permutation, group assignments, group backing)
+// reused across calls — the per-iteration microbatch-assignment path
+// uses one per runtime so pricing and partitioning a global batch does
+// not allocate. Not safe for concurrent use; the returned groups alias
+// the partitioner's scratch and are valid until the next Partition
+// call.
+type Partitioner struct {
+	idx    []int
+	assign []int
+	loads  []float64
+	counts []int
+	flat   []int
+	groups [][]int
+	// Rebalance scratch.
+	asc       []int
+	ascOff    []int
+	heads     []int
+	surplus   []int
+	balFlat   []int
+	balGroups [][]int
+}
+
+// Partition splits item indices 0..len(sizes)-1 across m groups with
+// exactly IntraReorder's rule: stable descending sort by size, then
+// greedy least-loaded placement (lowest group index wins ties).
+func (p *Partitioner) Partition(sizes []float64, m int) ([][]int, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("reorder: DP size %d must be positive", m)
+	}
+	n := len(sizes)
+	p.idx = grow(p.idx, n)
+	p.assign = grow(p.assign, n)
+	p.loads = grow(p.loads, m)
+	p.counts = grow(p.counts, m)
+	p.groups = growGroups(p.groups, m)
+	for i := range p.idx {
+		p.idx[i] = i
+	}
+	// Sort descending by size (line 3); stable so equal sizes keep
+	// corpus order and the result is deterministic.
+	sort.SliceStable(p.idx, func(a, b int) bool {
+		return sizes[p.idx[a]] > sizes[p.idx[b]]
+	})
+	for g := 0; g < m; g++ {
+		p.loads[g] = 0
+		p.counts[g] = 0
+	}
+	for pos, i := range p.idx {
+		min := 0
+		for g := 1; g < m; g++ {
+			if p.loads[g] < p.loads[min] {
+				min = g
+			}
+		}
+		p.assign[pos] = min
+		p.loads[min] += sizes[i]
+		p.counts[min]++
+	}
+	// Lay the groups out contiguously in one reused backing slice; the
+	// second pass appends in sorted order, matching the append-based
+	// construction's within-group order.
+	p.flat = grow(p.flat, n)
+	off := 0
+	for g := 0; g < m; g++ {
+		p.groups[g] = p.flat[off : off : off+p.counts[g]]
+		off += p.counts[g]
+	}
+	for pos, i := range p.idx {
+		g := p.assign[pos]
+		p.groups[g] = append(p.groups[g], i)
+	}
+	return p.groups[:m], nil
+}
+
+// Rebalance trims each group to perRank entries and redistributes the
+// surplus to underfull groups (smallest size first), preserving the
+// index multiset. It produces exactly the order a stable ascending
+// sort of the trimmed tails would — without sorting: Partition builds
+// every group in non-increasing size order, so each tail's ascending
+// order falls out of a backwards walk (runs of equal sizes kept in
+// forward order), and the global order out of a k-way merge that
+// breaks ties toward the lower group. The returned groups alias the
+// partitioner's scratch, valid until its next call.
+func (p *Partitioner) Rebalance(groups [][]int, perRank int, sizes []float64) [][]int {
+	m := len(groups)
+	total := 0
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+		if len(g) > perRank {
+			total += len(g) - perRank
+		}
+	}
+	// Ascending per-group tails, concatenated; ascOff[d] marks group
+	// d's region.
+	p.ascOff = grow(p.ascOff, m+1)
+	p.asc = grow(p.asc, total)
+	pos := 0
+	for d, g := range groups {
+		p.ascOff[d] = pos
+		if len(g) <= perRank {
+			continue
+		}
+		tail := g[perRank:]
+		i := len(tail) - 1
+		for i >= 0 {
+			j := i
+			for j > 0 && sizes[tail[j-1]] == sizes[tail[i]] {
+				j--
+			}
+			for t := j; t <= i; t++ {
+				p.asc[pos] = tail[t]
+				pos++
+			}
+			i = j - 1
+		}
+	}
+	p.ascOff[m] = pos
+	// K-way merge: smallest size first, ties to the lower group — the
+	// stable-sort emission order.
+	p.surplus = grow(p.surplus, total)
+	p.heads = grow(p.heads, m)
+	for d := 0; d < m; d++ {
+		p.heads[d] = p.ascOff[d]
+	}
+	for t := 0; t < total; t++ {
+		best := -1
+		for d := 0; d < m; d++ {
+			if p.heads[d] >= p.ascOff[d+1] {
+				continue
+			}
+			if best == -1 || sizes[p.asc[p.heads[d]]] < sizes[p.asc[p.heads[best]]] {
+				best = d
+			}
+		}
+		p.surplus[t] = p.asc[p.heads[best]]
+		p.heads[best]++
+	}
+	// Rebuild balanced groups in a second flat backing: kept prefixes,
+	// then surplus refills in group order.
+	p.balFlat = grow(p.balFlat, n)
+	p.balGroups = growGroups(p.balGroups, m)
+	si := 0
+	off := 0
+	for d, g := range groups {
+		kept := g
+		if len(kept) > perRank {
+			kept = kept[:perRank]
+		}
+		start := off
+		off += copy(p.balFlat[off:], kept)
+		for off-start < perRank && si < total {
+			p.balFlat[off] = p.surplus[si]
+			si++
+			off++
+		}
+		p.balGroups[d] = p.balFlat[start:off:off]
+	}
+	return p.balGroups[:m]
+}
+
+// grow resizes a scratch slice to length n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func growGroups(s [][]int, m int) [][]int {
+	if cap(s) < m {
+		return make([][]int, m)
+	}
+	return s[:m]
 }
 
 // MaxGroupLoad returns the heaviest group's total size — the
@@ -133,10 +303,10 @@ func InterReorder(mbs []Microbatch, p2p []float64) ([]Microbatch, error) {
 		return append([]Microbatch(nil), mbs...), nil
 	}
 
-	pool := append([]Microbatch(nil), mbs...)
+	pool := append(make([]Microbatch, 0, l), mbs...)
 	sortBySize(pool)
 
-	var ret []Microbatch
+	ret := make([]Microbatch, 0, l)
 	predictor := pipeline.NewIntervalPredictor(p, p2p)
 	intervals := make([]pipeline.Interval, 0, l) // intervals[i-1] = interval_i
 	place := func(m Microbatch) {
@@ -149,26 +319,33 @@ func InterReorder(mbs []Microbatch, p2p []float64) ([]Microbatch, error) {
 	pool = pool[1:]
 
 	// Line 4: reserve the p-1 smallest for the rear.
-	rear := append([]Microbatch(nil), pool[:minInt(p-1, len(pool))]...)
+	rear := pool[:minInt(p-1, len(pool))]
 	pool = pool[len(rear):]
 
-	// Lines 5-11: fill intervals.
-	for i := 1; len(pool) > 0 && i <= l-p; i++ {
+	// Lines 5-11: fill intervals. used marks in-place what selectClosest
+	// picked, so no per-interval pool copies are taken; left counts the
+	// unpicked remainder.
+	used := make([]bool, len(pool))
+	picked := make([]Microbatch, 0, p)
+	left := len(pool)
+	for i := 1; left > 0 && i <= l-p; i++ {
 		iv := intervals[i-1]
 		want := 1
 		if i == 1 {
 			want = p - 1
 		}
-		picked := selectClosest(pool, want, iv.Volume())
+		picked = selectClosest(pool, used, want, iv.Volume(), picked[:0])
 		for _, m := range picked {
 			place(m)
 		}
-		pool = removeAll(pool, picked)
+		left -= len(picked)
 	}
 	// Defensive drain: the paper's loop bound can leave items when l is
 	// small relative to p; keep them before the rear reserve.
-	for _, m := range pool {
-		place(m)
+	for i, m := range pool {
+		if !used[i] {
+			place(m)
+		}
 	}
 	// Line 12: rear microbatches close the pipeline.
 	ret = append(ret, rear...)
@@ -189,12 +366,22 @@ func InterReorderVPP(mbs []Microbatch, p2p []float64, vpp int) ([]Microbatch, er
 		return InterReorder(mbs, p2p)
 	}
 	scaled := make([]Microbatch, len(mbs))
+	// One flat backing for every scaled stage-time slice.
+	total := 0
+	for _, m := range mbs {
+		total += len(m.Fwd) + len(m.Bwd)
+	}
+	backing := make([]float64, 0, total)
 	for i, m := range mbs {
-		s := Microbatch{Index: m.Index, Fwd: make([]float64, len(m.Fwd)), Bwd: make([]float64, len(m.Bwd))}
-		for j := range m.Fwd {
-			s.Fwd[j] = m.Fwd[j] / float64(vpp)
-			s.Bwd[j] = m.Bwd[j] / float64(vpp)
+		s := Microbatch{Index: m.Index}
+		for _, v := range m.Fwd {
+			backing = append(backing, v/float64(vpp))
 		}
+		s.Fwd = backing[len(backing)-len(m.Fwd):]
+		for _, v := range m.Bwd {
+			backing = append(backing, v/float64(vpp))
+		}
+		s.Bwd = backing[len(backing)-len(m.Bwd):]
 		scaled[i] = s
 	}
 	order, err := InterReorder(scaled, p2p)
@@ -227,32 +414,44 @@ func sortBySize(mbs []Microbatch) {
 // selectClosest greedily picks up to k microbatches whose cumulative
 // encoder forward time approaches target: each step takes the candidate
 // minimising the distance to the target, stopping early when adding
-// any candidate would move further from it.
-func selectClosest(pool []Microbatch, k int, target float64) []Microbatch {
-	if k > len(pool) {
-		k = len(pool)
+// any candidate would move further from it. Picked entries are marked
+// in used (and skipped when already marked), so callers never copy the
+// pool; picks are appended to the passed slice and returned.
+func selectClosest(pool []Microbatch, used []bool, k int, target float64, picked []Microbatch) []Microbatch {
+	avail := 0
+	for i := range pool {
+		if !used[i] {
+			avail++
+		}
 	}
-	remaining := append([]Microbatch(nil), pool...)
-	var picked []Microbatch
+	if k > avail {
+		k = avail
+	}
 	sum := 0.0
-	for len(picked) < k && len(remaining) > 0 {
+	for len(picked) < k {
 		bestIdx := -1
 		bestDist := math.Abs(sum - target)
-		for i, m := range remaining {
+		for i, m := range pool {
+			if used[i] {
+				continue
+			}
 			d := math.Abs(sum + m.encFwd() - target)
 			if bestIdx == -1 || d < bestDist {
 				bestIdx, bestDist = i, d
 			}
+		}
+		if bestIdx == -1 {
+			break
 		}
 		// Always place at least one microbatch per interval slot; after
 		// that stop if no candidate improves the fit.
 		if len(picked) > 0 && bestDist >= math.Abs(sum-target) {
 			break
 		}
-		m := remaining[bestIdx]
+		m := pool[bestIdx]
 		picked = append(picked, m)
 		sum += m.encFwd()
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		used[bestIdx] = true
 	}
 	return picked
 }
@@ -262,20 +461,6 @@ func (m Microbatch) encFwd() float64 {
 		return 0
 	}
 	return m.Fwd[0]
-}
-
-func removeAll(pool, picked []Microbatch) []Microbatch {
-	gone := make(map[int]bool, len(picked))
-	for _, m := range picked {
-		gone[m.Index] = true
-	}
-	out := pool[:0]
-	for _, m := range pool {
-		if !gone[m.Index] {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 func minInt(a, b int) int {

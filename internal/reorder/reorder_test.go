@@ -378,3 +378,106 @@ func TestHeteroSize(t *testing.T) {
 		t.Error("empty microbatch size should be 0")
 	}
 }
+
+// --- scratch-reusing Partitioner vs the pre-optimization reference ---
+
+// referencePartition is the original allocation-per-call Algorithm 1:
+// stable descending sort, then greedy least-loaded placement. The
+// Partitioner must reproduce it index for index.
+func referencePartition(sizes []float64, m int) [][]int {
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
+	groups := make([][]int, m)
+	loads := make([]float64, m)
+	for _, i := range idx {
+		min := 0
+		for g := 1; g < m; g++ {
+			if loads[g] < loads[min] {
+				min = g
+			}
+		}
+		groups[min] = append(groups[min], i)
+		loads[min] += sizes[i]
+	}
+	return groups
+}
+
+// referenceRebalance is the original sort-based surplus redistribution
+// (the trainer's pinned rebalance, on indices): trim each group to
+// perRank, stable-sort the concatenated tails ascending, refill
+// underfull groups in order.
+func referenceRebalance(groups [][]int, perRank int, sizes []float64) [][]int {
+	out := make([][]int, len(groups))
+	var surplus []int
+	for d, g := range groups {
+		out[d] = append([]int(nil), g...)
+		if len(out[d]) > perRank {
+			surplus = append(surplus, out[d][perRank:]...)
+			out[d] = out[d][:perRank]
+		}
+	}
+	sort.SliceStable(surplus, func(a, b int) bool { return sizes[surplus[a]] < sizes[surplus[b]] })
+	for d := range out {
+		for len(out[d]) < perRank && len(surplus) > 0 {
+			out[d] = append(out[d], surplus[0])
+			surplus = surplus[1:]
+		}
+	}
+	return out
+}
+
+// TestPartitionerMatchesReference fuzzes the scratch-reusing
+// Partitioner (sort-free Rebalance, reused backing slices) against the
+// reference implementations on size distributions dominated by ties —
+// the case where any stability bug in the backwards tie-block walk or
+// the k-way merge would surface. One Partitioner is reused across all
+// trials, so stale scratch from a previous shape would also be caught.
+func TestPartitionerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var p Partitioner
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(48)
+		m := 1 + rng.Intn(8)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			// Few distinct values: most comparisons are ties.
+			sizes[i] = float64(rng.Intn(4))
+		}
+		got, err := p.Partition(sizes, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referencePartition(sizes, m)
+		if !equalGroups(got, want) {
+			t.Fatalf("trial %d (n=%d m=%d sizes=%v):\nPartition = %v\nreference = %v",
+				trial, n, m, sizes, got, want)
+		}
+		perRank := 1 + rng.Intn(n/m+2)
+		wantBal := referenceRebalance(want, perRank, sizes)
+		gotBal := p.Rebalance(got, perRank, sizes)
+		if !equalGroups(gotBal, wantBal) {
+			t.Fatalf("trial %d (n=%d m=%d perRank=%d sizes=%v):\nRebalance = %v\nreference = %v",
+				trial, n, m, perRank, sizes, gotBal, wantBal)
+		}
+	}
+}
+
+func equalGroups(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			return false
+		}
+		for j := range a[g] {
+			if a[g][j] != b[g][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -60,19 +60,50 @@ type rankOutcome struct {
 	err error
 }
 
+// rankScratch is one worker's reusable pipeline buffers: microbatch
+// headers, a flat float backing for their stage times and the
+// simulator's work rows, and the shape-aggregation token buffer.
+// Pooled per runtime; a worker holds one for the duration of a
+// runRank call. Nothing scratch-backed escapes the call: the
+// simulator's op timeline (the only retained output) is freshly
+// allocated inside pipeline.Simulate.
+type rankScratch struct {
+	mbs   []reorder.Microbatch
+	buf   []float64
+	fwd   [][]float64
+	bwd   [][]float64
+	shape []int
+}
+
 // runRank executes one DP rank's pipeline: microbatch construction,
 // Algorithm 2 ordering, exact 1F1B simulation — under the iteration's
-// scenario perturbation. Pure with respect to runtime state, so rank
-// workers may run concurrently.
+// scenario perturbation. Pure with respect to runtime state (all
+// mutable state lives in the pooled scratch), so rank workers may run
+// concurrently.
 func (r *Runtime) runRank(d int, samples []data.Sample, p2p []float64, pert scenario.Perturbation) rankOutcome {
 	cfg := r.cfg
 	m := cfg.Spec.Microbatch
 	k := len(samples) / m
-	mbs := make([]reorder.Microbatch, k)
+	sc := r.rankScratch.Get().(*rankScratch)
+	defer r.rankScratch.Put(sc)
+	// Flat layout: k*stages fwd + k*stages bwd microbatch times, then
+	// stages*k + stages*k simulator work rows.
+	need := 4 * k * r.stages
+	if cap(sc.buf) < need {
+		sc.buf = make([]float64, need)
+	}
+	buf := sc.buf[:need]
+	if cap(sc.mbs) < k {
+		sc.mbs = make([]reorder.Microbatch, k)
+	}
+	mbs := sc.mbs[:k]
 	for j := 0; j < k; j++ {
 		// A microbatch of M samples: aggregate their shapes.
-		shape := aggregateShape(samples[j*m : (j+1)*m])
-		fwd, bwd := r.microbatchWork(shape)
+		shape := aggregateShapeInto(samples[j*m:(j+1)*m], sc.shape)
+		sc.shape = shape.ImageTokens
+		fwd := buf[2*j*r.stages : (2*j+1)*r.stages]
+		bwd := buf[(2*j+1)*r.stages : (2*j+2)*r.stages]
+		r.microbatchWorkInto(shape, fwd, bwd)
 		mbs[j] = reorder.Microbatch{Index: j, Fwd: fwd, Bwd: bwd}
 	}
 	if cfg.Reorder {
@@ -83,15 +114,20 @@ func (r *Runtime) runRank(d int, samples []data.Sample, p2p []float64, pert scen
 			return rankOutcome{err: err}
 		}
 	}
+	if cap(sc.fwd) < r.stages {
+		sc.fwd = make([][]float64, r.stages)
+		sc.bwd = make([][]float64, r.stages)
+	}
 	work := pipeline.Work{
-		Fwd:   make([][]float64, r.stages),
-		Bwd:   make([][]float64, r.stages),
+		Fwd:   sc.fwd[:r.stages],
+		Bwd:   sc.bwd[:r.stages],
 		P2P:   p2p,
 		Rates: pert.RateSchedules(d, r.stages),
 	}
+	rows := buf[2*k*r.stages:]
 	for s := 0; s < r.stages; s++ {
-		work.Fwd[s] = make([]float64, k)
-		work.Bwd[s] = make([]float64, k)
+		work.Fwd[s] = rows[s*k : (s+1)*k]
+		work.Bwd[s] = rows[(r.stages+s)*k : (r.stages+s+1)*k]
 		for j, mb := range mbs {
 			work.Fwd[s][j] = mb.Fwd[s]
 			work.Bwd[s][j] = mb.Bwd[s]
@@ -213,8 +249,7 @@ func (r *Runtime) emitTrace(stats IterationStats, outcomes []rankOutcome) {
 	pipeStart := t + bd.PreprocessStall
 	for d, out := range outcomes {
 		for _, op := range out.ops {
-			name := fmt.Sprintf("%s%d", op.Kind, op.MB)
-			tr.Complete(name, "pipeline", d+1, op.Stage, pipeStart+op.Start, op.End-op.Start)
+			tr.Complete(r.opName(op.Kind, op.MB), "pipeline", d+1, op.Stage, pipeStart+op.Start, op.End-op.Start)
 		}
 	}
 	cur := pipeStart + bd.Pipeline
@@ -234,12 +269,34 @@ func (r *Runtime) emitTrace(stats IterationStats, outcomes []rankOutcome) {
 	r.clock += bd.Total()
 }
 
+// opName returns the trace event name for a pipeline op ("F3", "B0"),
+// cached per (kind, microbatch) — the per-event Sprintf was a top
+// allocation site in traced runs.
+func (r *Runtime) opName(kind pipeline.OpKind, mb int) string {
+	names := &r.opNames[kind]
+	for len(*names) <= mb {
+		*names = append(*names, fmt.Sprintf("%s%d", kind, len(*names)))
+	}
+	return (*names)[mb]
+}
+
 // workers resolves the rank-worker pool size.
 func (r *Runtime) workers() int {
 	if r.cfg.Parallelism >= 1 {
 		return r.cfg.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// outcomes returns the per-rank outcome slots for one iteration,
+// reused across iterations (they are serial) and fully overwritten —
+// every slot is assigned by exactly one runRank before the reduce
+// reads it.
+func (r *Runtime) outcomes(n int) []rankOutcome {
+	if cap(r.outcomesBuf) < n {
+		r.outcomesBuf = make([]rankOutcome, n)
+	}
+	return r.outcomesBuf[:n]
 }
 
 // iterationConcurrent executes one prepared iteration with rank
@@ -250,7 +307,7 @@ func (r *Runtime) iterationConcurrent(p preparedBatch) (IterationStats, error) {
 	}
 	pert := scenario.At(r.cfg.Scenario, p.iter)
 	p2p := r.iterP2P(pert)
-	outcomes := make([]rankOutcome, len(p.ranks))
+	outcomes := r.outcomes(len(p.ranks))
 	workers := r.workers()
 	if workers > len(p.ranks) {
 		workers = len(p.ranks)
@@ -288,7 +345,7 @@ func (r *Runtime) iterationSequential(p preparedBatch) (IterationStats, error) {
 	}
 	pert := scenario.At(r.cfg.Scenario, p.iter)
 	p2p := r.iterP2P(pert)
-	outcomes := make([]rankOutcome, len(p.ranks))
+	outcomes := r.outcomes(len(p.ranks))
 	for d := range p.ranks {
 		outcomes[d] = r.runRank(d, p.ranks[d], p2p, pert)
 	}

@@ -1,10 +1,12 @@
 package trainer
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"disttrain/internal/metrics"
 	"disttrain/internal/model"
 	"disttrain/internal/orchestrator"
 	"disttrain/internal/scenario"
@@ -95,6 +97,78 @@ func TestConcurrentRuntimeEquivalence(t *testing.T) {
 				}
 				if !reflect.DeepEqual(seq, conc) {
 					t.Errorf("iteration %d: concurrent stats diverged:\ngot  %+v\nwant %+v", i, conc, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceByteIdenticalAcrossWorkers pins the sharded trace recorder
+// against the scratch-reusing iteration loop: a trace-enabled run
+// serializes byte-identically to the pinned sequential reference at
+// every worker-pool size, steady state and perturbed alike. Rank
+// workers write distinct trace lanes concurrently, so this is the test
+// (run under -race by CI) that the per-lane buffers plus the global
+// sequence reconstruct the exact single-recorder byte stream.
+func TestTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	spec, corpus := buildSpec(t, model.MLLM9B(), 12, 96, model.FullTraining)
+	plan, err := orchestrator.PlanDistTrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := scenario.New("straggler",
+		scenario.Event{Kind: scenario.Straggler, Start: 1, End: 2, Rank: 0, Stage: -1, Factor: 2.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 3
+	for _, tc := range []struct {
+		name string
+		mk   func() Config
+	}{
+		{"steady", func() Config { return DistTrainConfig(spec, plan, corpus) }},
+		{"perturbed", func() Config {
+			c := DistTrainConfig(spec, plan, corpus)
+			c.Scenario = perturbed
+			return c
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			traceBytes := func(run func(*Runtime) error, par int) []byte {
+				cfg := tc.mk()
+				cfg.Parallelism = par
+				cfg.Trace = metrics.NewTrace()
+				rt, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+				if err := run(rt); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := cfg.Trace.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			want := traceBytes(func(rt *Runtime) error {
+				_, err := rt.RunSequential(iters)
+				return err
+			}, 0)
+			if len(want) == 0 {
+				t.Fatal("sequential reference recorded no trace")
+			}
+			for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				got := traceBytes(func(rt *Runtime) error {
+					_, err := rt.Run(iters)
+					return err
+				}, par)
+				if !bytes.Equal(got, want) {
+					t.Errorf("parallelism %d: trace diverged from sequential reference (%d vs %d bytes)",
+						par, len(got), len(want))
 				}
 			}
 		})

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"disttrain/internal/cluster"
 	"disttrain/internal/comm"
@@ -323,6 +324,21 @@ type Runtime struct {
 	// namedRanks tracks how many dp-rank trace lanes carry names, so a
 	// plan switch that grows DP names only the new lanes.
 	namedRanks int
+
+	// Hot-loop scratch. part/costBuf/costShape belong to the
+	// batch-assignment path (at most one prepare is outstanding, so no
+	// locking); flopsShape belongs to the reduce path, which may run
+	// concurrently with a prefetching prepare; rankScratch pools
+	// per-worker pipeline buffers; outcomesBuf is the per-iteration
+	// outcome slots, reused because iterations are serial.
+	part        reorder.Partitioner
+	costBuf     []float64
+	costShape   []int
+	flopsShape  []int
+	rankScratch sync.Pool
+	outcomesBuf []rankOutcome
+	// opNames caches the fwd/bwd trace event names per microbatch index.
+	opNames [2][]string
 }
 
 // leaseCluster scopes the run's cluster to a lease: its concrete
@@ -367,6 +383,7 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r := &Runtime{cfg: cfg.withDefaults(), base: base}
+	r.rankScratch.New = func() any { return new(rankScratch) }
 	r.source = cfg.Source
 	if r.source == nil {
 		r.source = corpusFrontEnd{r}
@@ -454,14 +471,21 @@ func (r *Runtime) iterP2P(pert scenario.Perturbation) []float64 {
 // microbatch (one sample when M=1) by charging each module's share of
 // the sample through the profiler and the plan's allocation ratios.
 func (r *Runtime) microbatchWork(shape model.SampleShape) (fwd, bwd []float64) {
+	fwd = make([]float64, r.stages)
+	bwd = make([]float64, r.stages)
+	r.microbatchWorkInto(shape, fwd, bwd)
+	return fwd, bwd
+}
+
+// microbatchWorkInto fills caller-provided stage slices (len r.stages)
+// with the microbatch's fwd/bwd durations — the scratch-reusing form
+// the rank workers price every microbatch through.
+func (r *Runtime) microbatchWorkInto(shape model.SampleShape, fwd, bwd []float64) {
 	spec := r.cfg.Spec
 	plan := r.cfg.Plan
 	p := spec.Profiler
 	mbs := float64(spec.Microbatch)
 	dpLM := float64(plan.Modules[model.Backbone].Config.DP)
-
-	fwd = make([]float64, r.stages)
-	bwd = make([]float64, r.stages)
 
 	// Encoder stage: per-LLM-rank share of the encoder pool.
 	enc := plan.Modules[model.Encoder]
@@ -492,15 +516,16 @@ func (r *Runtime) microbatchWork(shape model.SampleShape) (fwd, bwd []float64) {
 	totG := p.SampleTrain(model.Generator, wG, shape)
 	fwd[r.genStage] = fwdG * scaleG
 	bwd[r.genStage] = (totG - fwdG) * scaleG
-	return fwd, bwd
 }
 
 // sampleCost prices one sample's data-heterogeneous compute (encoder
 // plus generator), the size notion Algorithms 1's partition and the
-// rebalance both order by.
+// rebalance both order by. It reuses the assignment path's shape
+// buffer, so it must only be called from that path (prepare/assign).
 func (r *Runtime) sampleCost(s data.Sample) float64 {
 	p := r.cfg.Spec.Profiler
-	sh := s.Shape()
+	sh := s.ShapeInto(r.costShape)
+	r.costShape = sh.ImageTokens
 	return p.SampleTrain(model.Encoder, 1, sh) + p.SampleTrain(model.Generator, 1, sh)
 }
 
@@ -521,19 +546,45 @@ func (r *Runtime) assign(batch []data.Sample) ([][]data.Sample, error) {
 		}
 		return out, nil
 	}
-	_, groups, err := reorder.IntraReorder(batch, r.sampleCost, dp)
+	// Price every sample exactly once, then partition and rebalance
+	// over indices with the runtime's scratch partitioner — only the
+	// materialised per-rank slices allocate (they outlive the call:
+	// the prefetched assignment is consumed an iteration later).
+	if cap(r.costBuf) < len(batch) {
+		r.costBuf = make([]float64, len(batch))
+	}
+	costs := r.costBuf[:len(batch)]
+	for i := range batch {
+		costs[i] = r.sampleCost(batch[i])
+	}
+	groups, err := r.part.Partition(costs, dp)
 	if err != nil {
 		return nil, err
 	}
 	// The LPT partition balances load but may leave groups of unequal
 	// cardinality; rebalance counts while preserving the size ordering
 	// (each rank must own exactly K*M samples for synchronous 1F1B).
-	return rebalance(groups, perRank, r.sampleCost), nil
+	groups = r.part.Rebalance(groups, perRank, costs)
+	flat := make([]data.Sample, len(batch))
+	out := make([][]data.Sample, dp)
+	off := 0
+	for d, g := range groups {
+		dst := flat[off : off+len(g)]
+		for j, i := range g {
+			dst[j] = batch[i]
+		}
+		out[d] = dst
+		off += len(g)
+	}
+	return out, nil
 }
 
 // rebalance moves surplus samples (smallest first, so balance damage is
 // minimal) from overfull groups to underfull ones. The multiset of
-// samples is preserved: only ownership moves.
+// samples is preserved: only ownership moves. This sort-based form is
+// the pinned reference; the hot path runs the sort-free
+// reorder.(*Partitioner).Rebalance, which tests hold byte-identical to
+// this.
 func rebalance(groups [][]data.Sample, perRank int, size func(data.Sample) float64) [][]data.Sample {
 	var surplus []data.Sample
 	for d := range groups {
@@ -647,12 +698,15 @@ func (r *Runtime) restoreSeconds() float64 {
 }
 
 // iterationFLOPs sums the model FLOPs executed for the batch under the
-// freeze setting.
+// freeze setting. Runs on the reduce path; its shape buffer is
+// disjoint from the assignment path's, which may be prefetching
+// concurrently.
 func (r *Runtime) iterationFLOPs(batch []data.Sample) float64 {
 	freeze := r.cfg.Spec.Profiler.Options().Freeze
 	var total float64
 	for _, s := range batch {
-		shape := s.Shape()
+		shape := s.ShapeInto(r.flopsShape)
+		r.flopsShape = shape.ImageTokens
 		for _, mod := range model.Modules {
 			fwd, bwd := r.cfg.Spec.Model.ModuleTrainFLOPs(mod, shape, freeze)
 			total += fwd + bwd
@@ -663,11 +717,16 @@ func (r *Runtime) iterationFLOPs(batch []data.Sample) float64 {
 
 // aggregateShape merges the shapes of a microbatch's samples.
 func aggregateShape(samples []data.Sample) model.SampleShape {
-	var out model.SampleShape
+	return aggregateShapeInto(samples, nil)
+}
+
+// aggregateShapeInto merges the shapes of a microbatch's samples into
+// a caller-provided token buffer; the result aliases it.
+func aggregateShapeInto(samples []data.Sample, buf []int) model.SampleShape {
+	out := model.SampleShape{ImageTokens: buf[:0:cap(buf)]}
 	for _, s := range samples {
-		sh := s.Shape()
-		out.ImageTokens = append(out.ImageTokens, sh.ImageTokens...)
-		out.GenImages += sh.GenImages
+		out.ImageTokens = s.AppendImageTokens(out.ImageTokens)
+		out.GenImages += s.GenImages
 	}
 	return out
 }
