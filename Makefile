@@ -60,12 +60,13 @@ BENCH_COUNT ?= 5
 BENCH_TIME ?= 100x
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench.out
-	$(GO) test -bench=BenchmarkFleetThroughput -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
+	$(GO) test -bench='BenchmarkFleetThroughput|BenchmarkServiceThroughput' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
 	$(GO) run ./cmd/disttrain-benchjson -o $(BENCH_JSON) < bench.out
 	@rm -f bench.out
 
-# bench-diff is the perf regression gate: rerun the fleet throughput
-# benchmark (median of BENCH_COUNT samples, like the baseline) and
+# bench-diff is the perf regression gate: rerun the fleet and
+# shared-preprocessing-service throughput benchmarks (median of
+# BENCH_COUNT samples, like the baseline) and
 # fail when any job count's calibration-normalized rate (norm-iters/s
 # — cpu-iters/s divided by in-process spin rates bracketing each
 # sample, so CPU frequency and throttle state cancel) lands outside
@@ -82,7 +83,7 @@ bench-json:
 BENCH_BAND ?= 25
 BENCH_ALLOC_BAND ?= 10
 bench-diff:
-	$(GO) test -bench=BenchmarkFleetThroughput -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . > bench.out
+	$(GO) test -bench='BenchmarkFleetThroughput|BenchmarkServiceThroughput' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . > bench.out
 	$(GO) run ./cmd/disttrain-benchjson -diff $(BENCH_JSON) -band $(BENCH_BAND) -alloc-band $(BENCH_ALLOC_BAND) < bench.out
 	@rm -f bench.out
 

@@ -444,6 +444,99 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceThroughput measures the fleet-shared preprocessing
+// tier end to end: K tenants multiplexing tenant-keyed fetches over
+// one 2-producer service through the WFQ admission path and the real
+// TCP wire protocol. Each op delivers one training iteration to every
+// tenant (all DP ranks fetched concurrently), so the gated rate —
+// tenant-iterations per CPU second, spin-normalized like the fleet
+// sweep — is the tier's aggregate delivery rate, and allocs/op pins
+// the per-iteration allocation budget of the shared fetch path
+// (admission, failover ring, cache partition, wire round-trip) in the
+// `make bench-diff` gate. The corpus is shrunken LAION (the pixel
+// pipeline runs for real) so the number tracks multiplexing overhead,
+// not image decode throughput.
+func BenchmarkServiceThroughput(b *testing.B) {
+	shrink := data.LAION400M()
+	shrink.SeqLen = 512
+	shrink.MaxResolution = 64
+	shrink.ResMedian = 48
+	corpus, err := data.NewCorpus(shrink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dp = 2
+	for _, tenants := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			fleet, err := preprocess.StartFleet(preprocess.Config{
+				Source:      corpus,
+				GlobalBatch: 8,
+				DPSize:      1,
+				Microbatch:  1,
+				Workers:     4,
+				Readahead:   1,
+			}, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fleet.Close()
+			svc, err := preprocess.NewService(preprocess.ServiceConfig{
+				Addrs:    fleet.Addrs(),
+				Capacity: 2 * tenants * dp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			handles := make([]*preprocess.Tenant, tenants)
+			for i := range handles {
+				handles[i], err = svc.Register(preprocess.TenantConfig{
+					Name: fmt.Sprintf("t%d", i), MaxInflight: dp, DP: dp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			spinBefore := spinRate()
+			b.ReportAllocs()
+			b.ResetTimer()
+			cpuStart := processCPUTime()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, tenants*dp)
+				for ti, h := range handles {
+					for r := 0; r < dp; r++ {
+						wg.Add(1)
+						go func(slot int, h *preprocess.Tenant, rank int) {
+							defer wg.Done()
+							_, errs[slot] = h.Fetch(ctx, int64(i), rank)
+						}(ti*dp+r, h, r)
+					}
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			cpu := processCPUTime() - cpuStart
+			b.StopTimer()
+			spin := (spinBefore + spinRate()) / 2
+			b.ReportMetric(float64(tenants*dp*b.N)/b.Elapsed().Seconds(), "fetches/s")
+			totalIters := float64(tenants * b.N)
+			if cpu > 0 {
+				rate := totalIters / cpu.Seconds()
+				b.ReportMetric(rate, "cpu-iters/s")
+				if spin > 0 {
+					b.ReportMetric(rate*refSpinRate/spin, "norm-iters/s")
+				}
+			}
+		})
+	}
+}
+
 // refSpinRate pins the nominal machine the normalized throughput is
 // expressed against: norm-iters/s equals cpu-iters/s on a machine
 // whose calibration spin runs at 1e9 ops per CPU second. The constant

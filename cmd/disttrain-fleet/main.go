@@ -18,6 +18,8 @@
 //	disttrain-fleet -nodes 8 -jobs 2 -policy priority \
 //	    -scenario 'preempt-storm:iter=2,job=1,class=high,count=2'
 //	disttrain-fleet -nodes 16 -jobs 4 -job-nodes 4-4 -trace fleet.json
+//	disttrain-fleet -nodes 8 -jobs 3 -producers 2 \
+//	    -scenario 'producer-fail:iter=1,producer=0; producer-join:iter=4,producer=0'
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 		scenSpec  = flag.String("scenario", "", "fleet-scope scenario, e.g. 'job-arrive:iter=2,job=0; node-fail:iter=3,node=1; priority-arrive:iter=4,job=0,class=high; preempt-storm:iter=5,job=1,count=2'")
 		workers   = flag.Int("workers", 0, "per-round job-step worker pool size (0 = GOMAXPROCS)")
 		traceFile = flag.String("trace", "", "write the merged fleet timeline (Chrome trace format) to this file")
+		producers = flag.Int("producers", 0, "shared preprocessing producers (0 = no shared tier); jobs fetch batches over TCP with per-tenant quotas and weighted fair queueing")
+		slots     = flag.Int("preprocess-slots", 2, "per-tenant admission quota per leased node on the shared tier")
 	)
 	profile := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -113,6 +117,11 @@ func main() {
 			Priority: classes[i],
 		})
 	}
+	if *producers > 0 {
+		pc := disttrain.FleetPreprocessFor(tmpl, *producers)
+		pc.SlotsPerNode = *slots
+		cfg.Preprocess = pc
+	}
 	if *scenSpec != "" {
 		sc, err := disttrain.ParseScenario(*scenSpec)
 		if err != nil {
@@ -136,6 +145,9 @@ func main() {
 	fmt.Printf("fleet: %d nodes, %s policy, %d rounds, %d tenants\n",
 		*nodes, pol.Name(), res.Rounds, len(res.Jobs))
 	fmt.Printf("plan cache: %d searches, %d hits\n", res.PlanSearches, res.PlanHits)
+	if res.Preprocess != nil {
+		fmt.Printf("shared preprocessing: %s\n", res.Preprocess)
+	}
 	for _, jr := range res.Jobs {
 		if jr.Err != nil {
 			fmt.Printf("  %-10s FAILED: %v\n", jr.Name, jr.Err)
@@ -161,6 +173,10 @@ func main() {
 		}
 		if r.DowntimeSeconds > 0 {
 			fmt.Printf("  downtime %.2fs", r.DowntimeSeconds)
+		}
+		if jr.Pool != nil {
+			fmt.Printf("  pool fetches %d failovers %d rejected %d",
+				jr.Pool.Fetches, jr.Pool.Failovers, jr.Pool.Rejections)
 		}
 		fmt.Println()
 	}

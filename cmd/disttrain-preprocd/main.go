@@ -26,6 +26,7 @@ import (
 
 	"disttrain/internal/data"
 	"disttrain/internal/preprocess"
+	"disttrain/internal/prof"
 )
 
 func main() {
@@ -39,7 +40,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "preprocessing worker goroutines per producer (0 = 2*dp)")
 		readahead = flag.Int("readahead", 2, "iterations to prefetch")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	corpus, err := data.NewCorpus(data.LAION400M())
 	if err != nil {
@@ -106,6 +112,9 @@ func main() {
 		}
 	}()
 	wg.Wait()
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if failed.Load() {
 		os.Exit(1)
 	}

@@ -106,6 +106,18 @@ type (
 	// trainer's ProducerControl, so scenario producer-fail /
 	// producer-join events kill and restore members mid-run.
 	ProducerFleet = preprocess.Fleet
+	// PreprocessService is the fleet-shared preprocessing tier: one
+	// producer fleet multiplexing every tenant's fetches with
+	// weighted fair queueing, per-tenant admission quotas and
+	// partitioned caches. PreprocessTenant is one tenant's fetch
+	// handle on it (a drop-in Fetcher for the trainer's PoolSource).
+	PreprocessService       = preprocess.Service
+	PreprocessServiceConfig = preprocess.ServiceConfig
+	PreprocessTenant        = preprocess.Tenant
+	PreprocessTenantConfig  = preprocess.TenantConfig
+	// PreprocessFetcher is the consumer seam both PreprocessPool and
+	// PreprocessTenant satisfy.
+	PreprocessFetcher = preprocess.Fetcher
 	// PoolMetrics collects pool fetch latency, failovers, rejections
 	// and cache hit rate; PoolSnapshot is its point-in-time copy.
 	PoolMetrics  = metrics.PoolStats
@@ -181,6 +193,9 @@ type (
 	// FleetRoundInfo is one scheduling round's lease-table snapshot,
 	// delivered to FleetConfig.OnRound observers.
 	FleetRoundInfo = fleet.RoundInfo
+	// FleetPreprocessConfig attaches the fleet-shared disaggregated
+	// preprocessing tier to a fleet run (FleetConfig.Preprocess).
+	FleetPreprocessConfig = fleet.PreprocessConfig
 	// PlanCache is the fingerprint-keyed, singleflight plan-search
 	// cache fleets share: K identical specs pay for one §4.3 search.
 	PlanCache = orchestrator.PlanCache
@@ -372,6 +387,13 @@ func NewPreprocessPool(cfg PreprocessPoolConfig) (*PreprocessPool, error) {
 	return preprocess.NewPool(cfg)
 }
 
+// NewPreprocessService builds the fleet-shared preprocessing tier over
+// a set of producers: register tenants with Service.Register and point
+// each training configuration at its handle with UsePreprocessPool.
+func NewPreprocessService(cfg PreprocessServiceConfig) (*PreprocessService, error) {
+	return preprocess.NewService(cfg)
+}
+
 // StartProducerFleet launches n in-process preprocessing producers on
 // random loopback ports.
 func StartProducerFleet(cfg PreprocessConfig, n int) (*ProducerFleet, error) {
@@ -379,11 +401,30 @@ func StartProducerFleet(cfg PreprocessConfig, n int) (*ProducerFleet, error) {
 }
 
 // UsePreprocessPool points a training configuration's batch front-end
-// at a live producer pool: microbatches come over TCP with failover
-// instead of from the synthetic corpus path.
-func UsePreprocessPool(cfg *TrainConfig, pool *PreprocessPool) {
+// at a live producer fetcher — a private *PreprocessPool or a
+// *PreprocessTenant handle on a shared service: microbatches come over
+// TCP with failover instead of from the synthetic corpus path.
+func UsePreprocessPool(cfg *TrainConfig, pool PreprocessFetcher) {
 	cfg.Source = &trainer.PoolSource{Pool: pool, Samples: cfg.Corpus}
 	cfg.DisaggregatedPreprocess = true
+}
+
+// FleetPreprocessFor derives the shared-tier configuration for a fleet
+// whose jobs share tmpl's corpus and batch geometry: n producers, each
+// serving tenant-keyed fetches at the tenant's own DP width.
+// Reordering is off — the producer's Algorithm 2 interval model is
+// plan-dependent, and tenants on elastic leases have no single plan.
+func FleetPreprocessFor(tmpl TrainConfig, n int) *FleetPreprocessConfig {
+	return &FleetPreprocessConfig{
+		Producers: n,
+		Server: PreprocessConfig{
+			Source:      tmpl.Corpus,
+			GlobalBatch: tmpl.Spec.GlobalBatch,
+			DPSize:      1,
+			Microbatch:  tmpl.Spec.Microbatch,
+			Readahead:   1,
+		},
+	}
 }
 
 // NewReplanController builds the drift-detecting re-planning

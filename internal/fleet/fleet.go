@@ -13,6 +13,7 @@ import (
 	"disttrain/internal/cluster"
 	"disttrain/internal/metrics"
 	"disttrain/internal/orchestrator"
+	"disttrain/internal/preprocess"
 	"disttrain/internal/scenario"
 	"disttrain/internal/trainer"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	Cache *orchestrator.PlanCache
 	// Search tunes plan searches when the fleet builds its own cache.
 	Search orchestrator.SearchOptions
+	// Preprocess, when non-nil, attaches the fleet-shared
+	// disaggregated preprocessing tier: one producer fleet plus one
+	// multiplexing service every tenant sources its batches from, with
+	// priority-weighted fair queueing and lease-scaled admission
+	// quotas. Scenario producer-fail / producer-join events require it
+	// (they act on the shared producer fleet).
+	Preprocess *PreprocessConfig
 	// Workers bounds the per-round tenant-step worker pool; values < 1
 	// mean GOMAXPROCS. Results and traces are byte-identical at any
 	// value.
@@ -127,6 +135,11 @@ type JobResult struct {
 	// Trace its timeline when Config.Trace was set.
 	Result *trainer.Result
 	Trace  *metrics.Trace
+	// Pool is the tenant's preprocessing counters on the shared tier
+	// (nil without Config.Preprocess or when the job never started).
+	// Fetch and rejection counts are deterministic for a fixed arrival
+	// trace; latency and failover counts are wall-clock observables.
+	Pool *metrics.PoolSnapshot
 	// Err records an admission or runtime failure.
 	Err error
 }
@@ -144,6 +157,9 @@ type Result struct {
 	// into disjoint blocks, scheduler lane last); nil unless
 	// Config.Trace.
 	Trace *metrics.Trace
+	// Preprocess is the shared preprocessing tier's aggregate counters
+	// across every tenant; nil unless Config.Preprocess.
+	Preprocess *metrics.PoolSnapshot
 }
 
 // tenant states.
@@ -167,13 +183,15 @@ type tenant struct {
 	waited                     int // full rounds queued since last enqueue
 	preempts                   int
 
-	rt     *trainer.Runtime
-	job    *trainer.Job
-	lease  cluster.Lease
-	plan   *orchestrator.Plan
-	trace  *metrics.Trace
-	result *trainer.Result
-	err    error
+	rt       *trainer.Runtime
+	job      *trainer.Job
+	lease    cluster.Lease
+	plan     *orchestrator.Plan
+	trace    *metrics.Trace
+	result   *trainer.Result
+	pool     *preprocess.Tenant
+	poolSnap *metrics.PoolSnapshot
+	err      error
 
 	strategy string
 	state    int
@@ -196,6 +214,11 @@ type runner struct {
 	admitted   int // tenants admitted this round
 	retired    int // tenants retired this round (their nodes freed)
 	fleetTrace *metrics.Trace
+
+	// The shared preprocessing tier (nil without Config.Preprocess).
+	producers *preprocess.Fleet
+	service   *preprocess.Service
+	poolStats *metrics.PoolStats
 
 	// queueDirty marks that an Order key of some queued tenant may have
 	// changed since the last sortQueue: set by arrivals, requeues,
@@ -236,6 +259,9 @@ func Run(cfg Config) (*Result, error) {
 			if _, err := ParseClass(ev.Class); err != nil {
 				return nil, fmt.Errorf("fleet: %s event: %w", ev.Kind, err)
 			}
+		}
+		if (ev.Kind == scenario.ProducerFail || ev.Kind == scenario.ProducerJoin) && cfg.Preprocess == nil {
+			return nil, fmt.Errorf("fleet: %s event needs Config.Preprocess (it acts on the shared producer fleet)", ev.Kind)
 		}
 	}
 	// Defaults land on a private copy: callers may reuse one Jobs
@@ -302,6 +328,10 @@ func Run(cfg Config) (*Result, error) {
 		f.fleetTrace = metrics.NewTrace()
 		f.fleetTrace.NameProcess(0, "scheduler")
 	}
+	if err := f.startPreprocess(); err != nil {
+		return nil, err
+	}
+	defer f.stopPreprocess()
 	baseSearches, baseHits := cache.Searches(), cache.Hits()
 
 	lastRound := 0
@@ -361,8 +391,12 @@ func Run(cfg Config) (*Result, error) {
 			Departed: t.departed, Resizes: t.resizes,
 			Priority: t.class, Preemptions: t.preempts,
 			Lease: t.lease, Strategy: t.strategy, Plan: t.plan,
-			Result: t.result, Trace: t.trace, Err: t.err,
+			Result: t.result, Trace: t.trace, Pool: t.poolSnap, Err: t.err,
 		})
+	}
+	if f.poolStats != nil {
+		snap := f.poolStats.Snapshot()
+		res.Preprocess = &snap
 	}
 	if cfg.Trace {
 		merged := metrics.NewTrace()
@@ -391,6 +425,12 @@ func fleetEvents(s scenario.Scenario) ([]scenario.Event, error) {
 	}
 	evs := sched.Events()
 	for _, e := range evs {
+		// Producer events are dual-scope: addressed to one training run
+		// they act on its private pool (Train.Scenario); here they act
+		// on the fleet-shared producer tier.
+		if e.Kind == scenario.ProducerFail || e.Kind == scenario.ProducerJoin {
+			continue
+		}
 		if !e.Kind.FleetScope() {
 			return nil, fmt.Errorf("fleet: %s is not a fleet-scope event; put per-job perturbations in the job's Train.Scenario", e.Kind)
 		}
@@ -469,10 +509,15 @@ func (f *runner) enqueueArrivals() {
 	}
 }
 
-// applyEvents fires this round's node-join, node-fail and job-depart
-// events, in that order (joins first so freed capacity is visible to
-// the failure shrink path and admission in the same round).
+// applyEvents fires this round's producer, node-join, node-fail and
+// job-depart events, in that order (joins first so freed capacity is
+// visible to the failure shrink path and admission in the same round).
 func (f *runner) applyEvents() {
+	for _, ev := range f.events {
+		if (ev.Kind == scenario.ProducerFail || ev.Kind == scenario.ProducerJoin) && ev.Start == f.round {
+			f.producerEvent(ev)
+		}
+	}
 	for _, ev := range f.events {
 		if ev.Kind == scenario.FleetNodeJoin && ev.Start == f.round {
 			if err := f.table.Join(ev.Node); err != nil {
@@ -515,6 +560,7 @@ func (f *runner) failNode(node int) {
 				t.lease = shrunk
 				t.plan = plan
 				t.resizes++
+				f.resizeQuota(t, shrunk.NodeCount())
 				f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
 				return
 			}
@@ -528,6 +574,9 @@ func (f *runner) failNode(node int) {
 	t.lease = cluster.Lease{}
 	t.state = stateQueued
 	t.waited = 0
+	// A suspended tenant holds no nodes, so it earns no admission
+	// quota either; resumption re-grants it with the new lease.
+	f.resizeQuota(t, 0)
 	f.requeueFront(t)
 	f.note("job-suspend", map[string]any{"job": t.id})
 }
@@ -569,6 +618,9 @@ func (f *runner) retire(t *tenant, departed bool) {
 	if t.job != nil && t.result == nil {
 		t.result = t.job.Finish()
 	}
+	// Finish drained the prefetch, so the tenant's pool counters are
+	// quiescent — snapshot them now, exactly once.
+	f.snapshotPool(t)
 	f.table.Release(t.id)
 	t.lease = cluster.Lease{}
 	t.state = stateDone
@@ -713,6 +765,11 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 			t.trace = metrics.NewTrace()
 			tcfg.Trace = t.trace
 		}
+		// With a shared preprocessing tier, the tenant registers on the
+		// service and sources its batches through its handle.
+		if err := f.registerTenant(t, &tcfg, lease.NodeCount()); err != nil {
+			return err
+		}
 		rt, err := trainer.New(tcfg)
 		if err != nil {
 			return err
@@ -728,6 +785,7 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 			return err
 		}
 		t.resizes++
+		f.resizeQuota(t, lease.NodeCount())
 	}
 	if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
 		return err

@@ -97,6 +97,7 @@ func (o schedOps) Shrink(id int, drop []int, reason string) bool {
 	t.lease = shrunk
 	t.plan = plan
 	t.resizes++
+	f.resizeQuota(t, shrunk.NodeCount())
 	f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
 	return true
 }
@@ -133,6 +134,7 @@ func (o schedOps) Grow(id int, take []int, reason string) bool {
 	t.lease = grown
 	t.plan = plan
 	t.resizes++
+	f.resizeQuota(t, grown.NodeCount())
 	f.note("lease-grow", map[string]any{"job": t.id, "nodes": grown.NodeCount()})
 	return true
 }
@@ -153,6 +155,7 @@ func (o schedOps) Preempt(id int, reason string) bool {
 	t.state = stateQueued
 	t.waited = 0
 	t.preempts++
+	f.resizeQuota(t, 0)
 	f.queue = append(f.queue, t)
 	f.queueDirty = true
 	f.note("job-preempt", map[string]any{"job": t.id, "reason": reason})

@@ -20,6 +20,46 @@ type PoolStats struct {
 
 	mu      sync.Mutex
 	latency Series
+
+	// parent, when non-nil, receives a copy of every record — labeled
+	// children roll up into the aggregate they were created from.
+	parent *PoolStats
+
+	lmu     sync.Mutex
+	labeled map[string]*PoolStats
+}
+
+// Labeled returns (creating on first use) the named child collector.
+// Records into a child also land in this aggregate, so a shared
+// preprocessing service keeps one aggregate plus per-tenant breakdowns
+// from one collector tree.
+func (p *PoolStats) Labeled(name string) *PoolStats {
+	p.lmu.Lock()
+	defer p.lmu.Unlock()
+	if p.labeled == nil {
+		p.labeled = map[string]*PoolStats{}
+	}
+	c, ok := p.labeled[name]
+	if !ok {
+		c = &PoolStats{parent: p}
+		p.labeled[name] = c
+	}
+	return c
+}
+
+// LabeledSnapshots returns a snapshot of every labeled child, keyed by
+// label (nil when no children exist).
+func (p *PoolStats) LabeledSnapshots() map[string]PoolSnapshot {
+	p.lmu.Lock()
+	defer p.lmu.Unlock()
+	if len(p.labeled) == 0 {
+		return nil
+	}
+	out := make(map[string]PoolSnapshot, len(p.labeled))
+	for name, c := range p.labeled {
+		out[name] = c.Snapshot()
+	}
+	return out
 }
 
 // RecordFetch records one successful fetch and its latency in seconds.
@@ -28,18 +68,42 @@ func (p *PoolStats) RecordFetch(seconds float64) {
 	p.mu.Lock()
 	p.latency.Add(seconds)
 	p.mu.Unlock()
+	if p.parent != nil {
+		p.parent.RecordFetch(seconds)
+	}
 }
 
 // RecordFailover records one fetch served by (or moved toward) a
 // producer other than its deterministic primary.
-func (p *PoolStats) RecordFailover() { p.failovers.Add(1) }
+func (p *PoolStats) RecordFailover() {
+	p.failovers.Add(1)
+	if p.parent != nil {
+		p.parent.RecordFailover()
+	}
+}
 
 // RecordRejection records one fetch rejected by bounded admission.
-func (p *PoolStats) RecordRejection() { p.rejections.Add(1) }
+func (p *PoolStats) RecordRejection() {
+	p.rejections.Add(1)
+	if p.parent != nil {
+		p.parent.RecordRejection()
+	}
+}
 
 // RecordCacheHit and RecordCacheMiss track the pool-side batch cache.
-func (p *PoolStats) RecordCacheHit()  { p.cacheHits.Add(1) }
-func (p *PoolStats) RecordCacheMiss() { p.cacheMiss.Add(1) }
+func (p *PoolStats) RecordCacheHit() {
+	p.cacheHits.Add(1)
+	if p.parent != nil {
+		p.parent.RecordCacheHit()
+	}
+}
+
+func (p *PoolStats) RecordCacheMiss() {
+	p.cacheMiss.Add(1)
+	if p.parent != nil {
+		p.parent.RecordCacheMiss()
+	}
+}
 
 // PoolSnapshot is a point-in-time copy of the pool counters.
 type PoolSnapshot struct {

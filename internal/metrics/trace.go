@@ -129,9 +129,13 @@ func (t *Trace) NameProcess(pid int, name string) {
 }
 
 func (t *Trace) add(ev TraceEvent) {
-	seq := t.seq.Add(1) - 1
 	l := t.lane(ev.PID)
 	l.mu.Lock()
+	// The sequence is claimed under the lane lock: two writers on the
+	// same lane serialise here, so every lane is (absent bulk merges)
+	// already sorted by sequence and the read side can k-way merge
+	// sorted runs instead of sorting the whole trace.
+	seq := t.seq.Add(1) - 1
 	l.evs = append(l.evs, seqEvent{seq, ev})
 	l.mu.Unlock()
 	t.count.Add(1)
@@ -149,7 +153,14 @@ func (t *Trace) Events() []TraceEvent {
 }
 
 // merged collects every lane and restores the global append order by
-// sequence number.
+// sequence number — a k-way merge over the lanes' sequence-sorted
+// runs, not a global sort: merging k sorted runs of n total events is
+// O(n log k) with no comparison-sort constant, and k (the lane count)
+// is small. Sequences are claimed under the lane lock, so lanes are
+// sorted by construction; a lane that a concurrent AppendOffset raced
+// out of order (its bulk block claims sequences before taking lane
+// locks) is detected and sorted first, preserving correctness on the
+// slow path.
 func (t *Trace) merged() []TraceEvent {
 	t.mu.RLock()
 	lanes := make([]*traceLane, 0, len(t.lanes))
@@ -157,18 +168,80 @@ func (t *Trace) merged() []TraceEvent {
 		lanes = append(lanes, l)
 	}
 	t.mu.RUnlock()
-	all := make([]seqEvent, 0, t.count.Load())
+	runs := make([][]seqEvent, 0, len(lanes))
+	total := 0
 	for _, l := range lanes {
 		l.mu.Lock()
-		all = append(all, l.evs...)
+		run := l.evs[:len(l.evs):len(l.evs)]
 		l.mu.Unlock()
+		if len(run) == 0 {
+			continue
+		}
+		if !sortedBySeq(run) {
+			run = append([]seqEvent(nil), run...)
+			sort.Slice(run, func(a, b int) bool { return run[a].seq < run[b].seq })
+		}
+		runs = append(runs, run)
+		total += len(run)
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
-	out := make([]TraceEvent, len(all))
-	for i, se := range all {
-		out[i] = se.ev
+	out := make([]TraceEvent, 0, total)
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		for _, se := range runs[0] {
+			out = append(out, se.ev)
+		}
+		return out
+	}
+
+	// Binary min-heap of run indices, keyed by each run's head sequence.
+	cursor := make([]int, len(runs))
+	head := func(i int) uint64 { return runs[i][cursor[i]].seq }
+	h := make([]int, len(runs))
+	for i := range h {
+		h[i] = i
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if r := c + 1; r < len(h) && head(h[r]) < head(h[c]) {
+				c = r
+			}
+			if head(h[i]) <= head(h[c]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		r := h[0]
+		out = append(out, runs[r][cursor[r]].ev)
+		cursor[r]++
+		if cursor[r] == len(runs[r]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
 	}
 	return out
+}
+
+// sortedBySeq reports whether the run is ascending in sequence.
+func sortedBySeq(run []seqEvent) bool {
+	for i := 1; i < len(run); i++ {
+		if run[i].seq < run[i-1].seq {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxPID returns the highest process ID any recorded event uses (0 for

@@ -53,10 +53,34 @@ func (c *Client) SetTimeout(d time.Duration) {
 // Close tears down the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Fetch requests one (iteration, rank) batch. Requests on one client
-// are serialised; use one client per consumer rank (the production
-// layout).
+// Fetch requests one (iteration, rank) batch at the producer's
+// configured DP width. Requests on one client are serialised; use one
+// client per consumer rank (the production layout).
 func (c *Client) Fetch(ctx context.Context, iter int64, rank int) (*RankBatch, error) {
+	req := make([]byte, 0, 13)
+	req = append(req, opFetch)
+	req = binary.BigEndian.AppendUint64(req, uint64(iter))
+	req = binary.BigEndian.AppendUint32(req, uint32(rank))
+	return c.roundTrip(ctx, req)
+}
+
+// FetchTenant requests one (tenant, iteration, rank) batch split
+// across dp data-parallel ranks — the fleet-shared form of Fetch, for
+// consumers multiplexing one producer fleet across tenants with
+// differing geometries.
+func (c *Client) FetchTenant(ctx context.Context, tenant uint32, dp int, iter int64, rank int) (*RankBatch, error) {
+	req := make([]byte, 0, 21)
+	req = append(req, opFetchTenant)
+	req = binary.BigEndian.AppendUint32(req, tenant)
+	req = binary.BigEndian.AppendUint32(req, uint32(dp))
+	req = binary.BigEndian.AppendUint64(req, uint64(iter))
+	req = binary.BigEndian.AppendUint32(req, uint32(rank))
+	return c.roundTrip(ctx, req)
+}
+
+// roundTrip sends one request frame and parses the answer, under the
+// client's request serialisation and round-trip deadline.
+func (c *Client) roundTrip(ctx context.Context, req []byte) (*RankBatch, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -67,10 +91,6 @@ func (c *Client) Fetch(ctx context.Context, iter int64, rank int) (*RankBatch, e
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	req := make([]byte, 0, 13)
-	req = append(req, opFetch)
-	req = binary.BigEndian.AppendUint64(req, uint64(iter))
-	req = binary.BigEndian.AppendUint32(req, uint32(rank))
 	if err := writeFrame(c.bw, req); err != nil {
 		return nil, err
 	}

@@ -340,20 +340,37 @@ func (m *poolMember) markDown(until time.Time) {
 // serialises anyway; holding the lock keeps dial/teardown atomic with
 // the request).
 func (m *poolMember) fetch(ctx context.Context, cfg PoolConfig, iter int64, rank int) (*RankBatch, error) {
+	return m.do(cfg.DialTimeout, cfg.FetchTimeout, func(c *Client) (*RankBatch, error) {
+		return c.Fetch(ctx, iter, rank)
+	})
+}
+
+// fetchTenant is fetch's fleet-shared form: one tenant-keyed request at
+// the tenant's DP width.
+func (m *poolMember) fetchTenant(ctx context.Context, dialTO, fetchTO time.Duration, tenant uint32, dp int, iter int64, rank int) (*RankBatch, error) {
+	return m.do(dialTO, fetchTO, func(c *Client) (*RankBatch, error) {
+		return c.FetchTenant(ctx, tenant, dp, iter, rank)
+	})
+}
+
+// do runs one request callback against this member's lazily-dialed
+// client, dropping the connection on transport failure (a ServerError
+// is a protocol answer: the connection stays).
+func (m *poolMember) do(dialTO, fetchTO time.Duration, call func(*Client) (*RankBatch, error)) (*RankBatch, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, errors.New("preprocess: pool closed")
 	}
 	if m.client == nil {
-		c, err := DialTimeout(m.addr, cfg.DialTimeout)
+		c, err := DialTimeout(m.addr, dialTO)
 		if err != nil {
 			return nil, err
 		}
-		c.SetTimeout(cfg.FetchTimeout)
+		c.SetTimeout(fetchTO)
 		m.client = c
 	}
-	rb, err := m.client.Fetch(ctx, iter, rank)
+	rb, err := call(m.client)
 	if err != nil {
 		var se *ServerError
 		if !errors.As(err, &se) {

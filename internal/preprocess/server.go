@@ -23,14 +23,19 @@ import (
 //	...      opcode-specific body
 //
 // opFetch requests one DP rank's microbatches for one iteration;
-// opBatch answers it. The protocol is deliberately minimal: producers
-// are stateless per request, so any consumer can fetch any (iteration,
-// rank) pair — the property that makes preprocessing elastically
-// scalable (§8).
+// opBatch answers it. opFetchTenant is the fleet-shared form: the
+// request additionally carries a tenant id and the tenant's DP width,
+// so one producer fleet serves many training jobs with different
+// geometries at once — opFetch is exactly opFetchTenant with tenant 0
+// and the producer's configured DPSize. The protocol is deliberately
+// minimal: producers are stateless per request, so any consumer can
+// fetch any (tenant, iteration, rank) triple — the property that makes
+// preprocessing elastically scalable (§8).
 const (
-	opFetch byte = 0x01
-	opBatch byte = 0x81
-	opError byte = 0xee
+	opFetch       byte = 0x01
+	opFetchTenant byte = 0x02
+	opBatch       byte = 0x81
+	opError       byte = 0xee
 
 	maxFrame = 1 << 30
 )
@@ -95,13 +100,19 @@ type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
-	cache    map[int64][][]Processed // iter -> [rank][mb*... flattened per rank]
-	inflight map[int64]chan struct{}
-	// watermark tracks each rank's highest fetched iteration; the cache
-	// evicts only below the minimum across ranks, so a lagging consumer
-	// never has its batch evicted and rebuilt under it.
-	watermark map[int]int64
-	conns     map[net.Conn]struct{}
+	cache    map[buildKey][][]Processed // (iter, dp) -> [rank][mb*... flattened per rank]
+	inflight map[buildKey]chan struct{}
+	// watermark tracks each (tenant, rank)'s highest fetched iteration;
+	// the cache evicts only below the minimum across every tenant's
+	// ranks, so a lagging consumer never has its batch evicted and
+	// rebuilt under it — and one tenant's laggard holds the floor for
+	// every tenant's entries alike (the shared producer cache is not
+	// partitioned; the consumer-side Service cache is).
+	watermark map[wmKey]int64
+	// tenantDP remembers each tenant's last-seen DP width: the floor is
+	// only trusted once every rank of every known tenant has fetched.
+	tenantDP map[uint32]int
+	conns    map[net.Conn]struct{}
 
 	closed chan struct{}
 	once   sync.Once
@@ -128,12 +139,28 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:       cfg,
-		cache:     map[int64][][]Processed{},
-		inflight:  map[int64]chan struct{}{},
-		watermark: map[int]int64{},
+		cache:     map[buildKey][][]Processed{},
+		inflight:  map[buildKey]chan struct{}{},
+		watermark: map[wmKey]int64{},
+		tenantDP:  map[uint32]int{},
 		conns:     map[net.Conn]struct{}{},
 		closed:    make(chan struct{}),
 	}, nil
+}
+
+// buildKey identifies one materialised iteration: tenants with
+// different DP widths split (and reorder) the same global batch
+// differently, so the cache is keyed by both.
+type buildKey struct {
+	iter int64
+	dp   int
+}
+
+// wmKey identifies one consumer rank of one tenant in the fetch
+// watermark.
+type wmKey struct {
+	tenant uint32
+	rank   int
 }
 
 // Close stops the server: no new work starts, active connections are
@@ -216,14 +243,33 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		switch body[0] {
-		case opFetch:
-			if len(body) != 1+8+4 {
-				writeError(bw, "malformed fetch")
-				return
+		case opFetch, opFetchTenant:
+			var (
+				tenant uint32
+				dp     int
+				iter   int64
+				rank   int
+			)
+			switch body[0] {
+			case opFetch:
+				if len(body) != 1+8+4 {
+					writeError(bw, "malformed fetch")
+					return
+				}
+				dp = s.cfg.DPSize
+				iter = int64(binary.BigEndian.Uint64(body[1:9]))
+				rank = int(binary.BigEndian.Uint32(body[9:13]))
+			case opFetchTenant:
+				if len(body) != 1+4+4+8+4 {
+					writeError(bw, "malformed tenant fetch")
+					return
+				}
+				tenant = binary.BigEndian.Uint32(body[1:5])
+				dp = int(binary.BigEndian.Uint32(body[5:9]))
+				iter = int64(binary.BigEndian.Uint64(body[9:17]))
+				rank = int(binary.BigEndian.Uint32(body[17:21]))
 			}
-			iter := int64(binary.BigEndian.Uint64(body[1:9]))
-			rank := int(binary.BigEndian.Uint32(body[9:13]))
-			rb, err := s.Fetch(iter, rank)
+			rb, err := s.FetchTenant(tenant, dp, iter, rank)
 			if err != nil {
 				// Shutdown is a transport event, not a protocol answer:
 				// dropping the connection makes the client's pool fail
@@ -251,11 +297,25 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// Fetch returns one rank's batch, materialising the iteration if
-// needed and kicking off readahead for subsequent iterations.
+// Fetch returns one rank's batch at the producer's configured DP
+// width, materialising the iteration if needed and kicking off
+// readahead for subsequent iterations — the single-tenant path,
+// identical to FetchTenant with tenant 0.
 func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
-	if rank < 0 || rank >= s.cfg.DPSize {
-		return nil, fmt.Errorf("preprocess: rank %d outside DP size %d", rank, s.cfg.DPSize)
+	return s.FetchTenant(0, s.cfg.DPSize, iter, rank)
+}
+
+// FetchTenant returns one (tenant, iteration, rank) batch split across
+// dp data-parallel ranks. The tenant id partitions the fetch watermark
+// (each tenant's laggard is tracked separately); dp must divide the
+// global batch in multiples of the microbatch — a deterministic
+// protocol rejection otherwise, never a failover.
+func (s *Server) FetchTenant(tenant uint32, dp int, iter int64, rank int) (*RankBatch, error) {
+	if dp < 1 || s.cfg.GlobalBatch%(dp*s.cfg.Microbatch) != 0 {
+		return nil, fmt.Errorf("preprocess: DP*M=%d must divide BS=%d", dp*s.cfg.Microbatch, s.cfg.GlobalBatch)
+	}
+	if rank < 0 || rank >= dp {
+		return nil, fmt.Errorf("preprocess: rank %d outside DP size %d", rank, dp)
 	}
 	select {
 	case <-s.closed:
@@ -263,12 +323,24 @@ func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
 	default:
 	}
 	s.mu.Lock()
-	if w, ok := s.watermark[rank]; !ok || iter > w {
-		s.watermark[rank] = iter
+	if prev, ok := s.tenantDP[tenant]; !ok || prev != dp {
+		// A tenant changing width (elastic lease resize) invalidates its
+		// stale rank watermarks: entries at ranks the new geometry no
+		// longer has would freeze the eviction floor forever.
+		for k := range s.watermark {
+			if k.tenant == tenant && k.rank >= dp {
+				delete(s.watermark, k)
+			}
+		}
+		s.tenantDP[tenant] = dp
+	}
+	wk := wmKey{tenant, rank}
+	if w, ok := s.watermark[wk]; !ok || iter > w {
+		s.watermark[wk] = iter
 		s.evictLocked()
 	}
 	s.mu.Unlock()
-	perRank, err := s.iteration(iter)
+	perRank, err := s.iteration(iter, dp)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +358,7 @@ func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
 			select {
 			case <-s.closed:
 			default:
-				s.iteration(it) //nolint:errcheck // best-effort warmup
+				s.iteration(it, dp) //nolint:errcheck // best-effort warmup
 			}
 		}()
 	}
@@ -299,18 +371,20 @@ func (s *Server) Fetch(iter int64, rank int) (*RankBatch, error) {
 	return rb, nil
 }
 
-// iteration materialises (or waits for) one preprocessed iteration.
-func (s *Server) iteration(iter int64) ([][]Processed, error) {
+// iteration materialises (or waits for) one preprocessed iteration at
+// one DP width.
+func (s *Server) iteration(iter int64, dp int) ([][]Processed, error) {
+	key := buildKey{iter, dp}
 	s.mu.Lock()
-	if got, ok := s.cache[iter]; ok {
+	if got, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		return got, nil
 	}
-	if ch, ok := s.inflight[iter]; ok {
+	if ch, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		<-ch
 		s.mu.Lock()
-		got, ok := s.cache[iter]
+		got, ok := s.cache[key]
 		s.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("preprocess: iteration %d failed", iter)
@@ -318,15 +392,15 @@ func (s *Server) iteration(iter int64) ([][]Processed, error) {
 		return got, nil
 	}
 	done := make(chan struct{})
-	s.inflight[iter] = done
+	s.inflight[key] = done
 	s.mu.Unlock()
 
-	out, err := s.build(iter)
+	out, err := s.build(iter, dp)
 
 	s.mu.Lock()
-	delete(s.inflight, iter)
+	delete(s.inflight, key)
 	if err == nil {
-		s.cache[iter] = out
+		s.cache[key] = out
 		s.evictLocked()
 	}
 	s.mu.Unlock()
@@ -334,34 +408,44 @@ func (s *Server) iteration(iter int64) ([][]Processed, error) {
 	return out, err
 }
 
-// evictLocked bounds the cache against the minimum per-rank fetch
-// watermark: an iteration is dropped only once every rank has fetched
-// past it. Evicting relative to the newest build instead would rebuild
-// a lagging rank's batch on every fetch. Until all DPSize ranks have
-// fetched at least once there is no safe floor from the watermarks.
+// evictLocked bounds the cache against the minimum fetch watermark
+// across every tenant's ranks: an iteration is dropped only once every
+// rank of every known tenant has fetched past it. Evicting relative to
+// the newest build instead would rebuild a lagging rank's batch on
+// every fetch. Until every known tenant has had all of its DP ranks
+// fetch at least once there is no safe floor from the watermarks.
 // Either way CacheCap backstops the cache size — oldest iterations
 // drop first — so a dead or never-connecting rank cannot grow the
 // cache without bound. Callers hold s.mu.
 func (s *Server) evictLocked() {
-	if len(s.watermark) == s.cfg.DPSize {
-		min := int64(0)
-		first := true
-		for _, w := range s.watermark {
-			if first || w < min {
-				min, first = w, false
-			}
+	complete := len(s.tenantDP) > 0
+	min := int64(0)
+	first := true
+	ranksSeen := make(map[uint32]int, len(s.tenantDP))
+	for k, w := range s.watermark {
+		ranksSeen[k.tenant]++
+		if first || w < min {
+			min, first = w, false
 		}
+	}
+	for tn, dp := range s.tenantDP {
+		if ranksSeen[tn] != dp {
+			complete = false
+			break
+		}
+	}
+	if complete {
 		for k := range s.cache {
-			if k < min {
+			if k.iter < min {
 				delete(s.cache, k)
 			}
 		}
 	}
 	for len(s.cache) > s.cfg.CacheCap {
-		oldest := int64(0)
+		var oldest buildKey
 		first := true
 		for k := range s.cache {
-			if first || k < oldest {
+			if first || k.iter < oldest.iter || (k.iter == oldest.iter && k.dp < oldest.dp) {
 				oldest, first = k, false
 			}
 		}
@@ -369,9 +453,10 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// build preprocesses one full iteration: fetch raw samples, run the
-// pixel pipeline on the worker pool, then apply both reordering levels.
-func (s *Server) build(iter int64) ([][]Processed, error) {
+// build preprocesses one full iteration at one DP width: fetch raw
+// samples, run the pixel pipeline on the worker pool, then apply both
+// reordering levels.
+func (s *Server) build(iter int64, dp int) ([][]Processed, error) {
 	s.builds.Add(1)
 	bs := s.cfg.GlobalBatch
 	raw := make([]data.Sample, bs)
@@ -398,8 +483,8 @@ func (s *Server) build(iter int64) ([][]Processed, error) {
 		}
 	}
 
-	perRank := len(processed) / s.cfg.DPSize
-	out := make([][]Processed, s.cfg.DPSize)
+	perRank := len(processed) / dp
+	out := make([][]Processed, dp)
 	if !s.cfg.Reorder {
 		for d := range out {
 			out[d] = processed[d*perRank : (d+1)*perRank]
@@ -408,7 +493,7 @@ func (s *Server) build(iter int64) ([][]Processed, error) {
 	}
 	// Algorithm 1 across ranks, with the modality token count as the
 	// heterogeneous-cost proxy.
-	_, groups, err := reorder.IntraReorder(processed, modalitySize, s.cfg.DPSize)
+	_, groups, err := reorder.IntraReorder(processed, modalitySize, dp)
 	if err != nil {
 		return nil, err
 	}

@@ -81,7 +81,7 @@ func TestEvictionHonoursLaggingRank(t *testing.T) {
 	srv.mu.Lock()
 	var cached []int64
 	for k := range srv.cache {
-		cached = append(cached, k)
+		cached = append(cached, k.iter)
 	}
 	srv.mu.Unlock()
 	sort.Slice(cached, func(a, b int) bool { return cached[a] < cached[b] })
@@ -110,7 +110,7 @@ func TestCacheCapBoundsDeadRank(t *testing.T) {
 	}
 	srv.mu.Lock()
 	n := len(srv.cache)
-	_, newestCached := srv.cache[19]
+	_, newestCached := srv.cache[buildKey{19, 2}]
 	srv.mu.Unlock()
 	if n > 4 {
 		t.Fatalf("cache grew to %d iterations with CacheCap 4", n)

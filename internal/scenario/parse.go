@@ -30,7 +30,9 @@ import (
 // fire-once kinds — failure, producer-fail, producer-join, and the
 // fleet-scope job-arrive / job-depart / node-fail / node-join /
 // priority-arrive / preempt-storm — accept; for fleet kinds `iter` is
-// a fleet scheduling round). Each kind accepts only the keys that
+// a fleet scheduling round, and producer-fail / producer-join are
+// dual-scope: in a fleet scenario they address the fleet-shared
+// producer tier and `iter` is likewise a round). Each kind accepts only the keys that
 // affect it: `rank`, `stage`, `from` and `until` belong to straggler;
 // `factor` to the windowed kinds; `downtime` to failure; `producer`
 // to producer-fail / producer-join; `job` to the job arrival and

@@ -44,11 +44,14 @@ const (
 	// ProducerFail kills one disaggregated-preprocessing producer at
 	// iteration Start: subsequent fetches assigned to it fail over to
 	// the surviving pool members (§5's elasticity under churn). Fires
-	// once, like NodeFailure.
+	// once, like NodeFailure. Dual-scope: in a job's Train.Scenario it
+	// acts on the job's private producer pool at iteration Start; in a
+	// fleet scenario it acts on the fleet-shared producer tier at
+	// round Start, degrading every tenant fairly.
 	ProducerFail
 	// ProducerJoin restores (or brings up) producer Producer at
 	// iteration Start — the elastic scale-up counterpart of
-	// ProducerFail. Fires once.
+	// ProducerFail. Fires once; dual-scope like ProducerFail.
 	ProducerJoin
 	// WorkloadShift changes the sample-cost distribution mid-run: for
 	// the covered iterations every sample's image subsequences are

@@ -1,0 +1,74 @@
+package trainer
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"disttrain/internal/metrics"
+	"disttrain/internal/preprocess"
+)
+
+// The rebasing pin for the shared preprocessing tier: a trainer
+// sourcing batches through a 1-tenant preprocess.Service must be
+// byte-identical to the same trainer on a private preprocess.Pool over
+// an equivalent producer fleet. Tenant 0's primary assignment is the
+// pool's and the tenant-keyed wire path splits identically, so sharing
+// the tier changes who multiplexes, never what trains.
+func TestServiceSingleTenantMatchesPrivatePool(t *testing.T) {
+	h := newPoolHarness(t)
+	const iters = 4
+
+	ref, refSnap := h.run(t, 2, iters, "")
+
+	fleet, err := preprocess.StartFleet(h.pcfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	stats := &metrics.PoolStats{}
+	svc, err := preprocess.NewService(preprocess.ServiceConfig{
+		Addrs:           fleet.Addrs(),
+		FailureCooldown: 100 * time.Millisecond,
+		DialTimeout:     500 * time.Millisecond,
+		Stats:           stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	dp := h.pcfg.DPSize
+	tenant, err := svc.Register(preprocess.TenantConfig{Name: "only", DP: dp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DistTrainConfig(h.spec, h.plan, h.corpus)
+	cfg.Source = &PoolSource{Pool: tenant, Samples: h.corpus}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(res.Iterations, ref.Iterations) {
+		t.Errorf("1-tenant service run diverged from private-pool reference:\n got %+v\nwant %+v",
+			res.Iterations, ref.Iterations)
+	}
+	if res.MFU != ref.MFU || res.TokensPerSec != ref.TokensPerSec {
+		t.Errorf("aggregates diverged: MFU %g vs %g, tok/s %g vs %g",
+			res.MFU, ref.MFU, res.TokensPerSec, ref.TokensPerSec)
+	}
+	snap := stats.Snapshot()
+	if snap.Fetches != refSnap.Fetches {
+		t.Errorf("service fetches = %d, pool reference = %d", snap.Fetches, refSnap.Fetches)
+	}
+	if snap.Failovers != 0 || snap.Rejections != 0 {
+		t.Errorf("healthy 1-tenant service recorded failovers=%d rejections=%d",
+			snap.Failovers, snap.Rejections)
+	}
+}

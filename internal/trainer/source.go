@@ -112,8 +112,9 @@ func TrialMeanIterTime(cfg Config, batches [][]data.Sample) (float64, error) {
 // iteration's compute. The producers own assignment and reordering;
 // the trainer consumes their decisions — the §5 division of labour.
 type PoolSource struct {
-	// Pool is the producer pool to fetch from.
-	Pool *preprocess.Pool
+	// Pool is the producer fetcher: a private *preprocess.Pool or a
+	// tenant handle on a fleet-shared *preprocess.Service.
+	Pool preprocess.Fetcher
 	// Samples recovers full sample metadata by index (*data.Corpus
 	// satisfies it); producers ship token payloads, not the simulation
 	// shapes.
@@ -126,6 +127,12 @@ type PoolSource struct {
 func (ps *PoolSource) Assign(iter, dp int) ([]data.Sample, [][]data.Sample, error) {
 	if ps.Pool == nil || ps.Samples == nil {
 		return nil, nil, fmt.Errorf("trainer: PoolSource needs both Pool and Samples")
+	}
+	// A DP-aware fetcher (a shared-service tenant) learns the current
+	// geometry before the fan-out: elastic resizes reshape the
+	// producer-side split without re-registering the tenant.
+	if s, ok := ps.Pool.(preprocess.DPAware); ok {
+		s.SetDP(dp)
 	}
 	ranks := make([][]data.Sample, dp)
 	errs := make([]error, dp)
