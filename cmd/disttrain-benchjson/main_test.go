@@ -181,6 +181,42 @@ func TestDiffBand(t *testing.T) {
 	}
 }
 
+// TestDiffSelfDeclaredBand: a baseline sample that recorded a band%
+// metric (the benchmark called b.ReportMetric(60, "band%")) is gated
+// at that band when it is wider than the CLI's, and at the CLI's when
+// it is not — self-declared bands can only relax the gate, never
+// tighten it.
+func TestDiffSelfDeclaredBand(t *testing.T) {
+	bench := func(rate, selfBand float64) Benchmark {
+		m := map[string]float64{throughputUnit: rate}
+		if selfBand > 0 {
+			m[bandUnit] = selfBand
+		}
+		return Benchmark{Name: "BenchmarkWarmPlanSearch/warm", Iterations: 1, NsPerOp: 1, Metrics: m}
+	}
+	wide := &Report{Benchmarks: []Benchmark{bench(1000, 60)}}
+
+	// -50% is outside the CLI's ±10% but inside the declared ±60%.
+	var buf strings.Builder
+	if err := diff(&buf, wide, &Report{Benchmarks: []Benchmark{bench(500, 60)}}, 10, 10); err != nil {
+		t.Fatalf("drop inside declared band failed: %v\n%s", err, buf.String())
+	}
+	// A wholesale collapse still fails.
+	buf.Reset()
+	if err := diff(&buf, wide, &Report{Benchmarks: []Benchmark{bench(300, 60)}}, 10, 10); err == nil {
+		t.Fatalf("collapse outside declared band passed\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "band ±60%") {
+		t.Errorf("failure did not report the declared band:\n%s", buf.String())
+	}
+	// A declared band narrower than the CLI's does not tighten the gate.
+	narrow := &Report{Benchmarks: []Benchmark{bench(1000, 2)}}
+	buf.Reset()
+	if err := diff(&buf, narrow, &Report{Benchmarks: []Benchmark{bench(920, 2)}}, 10, 10); err != nil {
+		t.Fatalf("-8%% failed under a self-declared 2%% band; declared bands must not tighten the CLI band: %v\n%s", err, buf.String())
+	}
+}
+
 // TestDiffPrefersNormalizedUnit: when the baseline records the
 // calibration-normalized rate, the gate compares it and ignores raw
 // cpu-iters/s drift (a throttled runner moves cpu-iters/s uniformly;

@@ -49,6 +49,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write the merged fleet timeline (Chrome trace format) to this file")
 		producers = flag.Int("producers", 0, "shared preprocessing producers (0 = no shared tier); jobs fetch batches over TCP with per-tenant quotas and weighted fair queueing")
 		slots     = flag.Int("preprocess-slots", 2, "per-tenant admission quota per leased node on the shared tier")
+		cacheDir  = flag.String("plan-cache-dir", "", "durable plan-cache directory: plans persist across runs, repeated specs skip the search entirely, and new lease sizes warm-start from their neighbours")
 	)
 	profile := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -105,10 +106,11 @@ func main() {
 
 	tmpl := disttrain.NewTrainConfig(spec, nil, corpus)
 	cfg := disttrain.FleetConfig{
-		Cluster: spec.Cluster,
-		Policy:  pol,
-		Workers: *workers,
-		Trace:   *traceFile != "",
+		Cluster:      spec.Cluster,
+		Policy:       pol,
+		Workers:      *workers,
+		Trace:        *traceFile != "",
+		PlanCacheDir: *cacheDir,
 	}
 	for i := 0; i < *jobs; i++ {
 		cfg.Jobs = append(cfg.Jobs, disttrain.FleetJobSpec{
@@ -145,6 +147,10 @@ func main() {
 	fmt.Printf("fleet: %d nodes, %s policy, %d rounds, %d tenants\n",
 		*nodes, pol.Name(), res.Rounds, len(res.Jobs))
 	fmt.Printf("plan cache: %d searches, %d hits\n", res.PlanSearches, res.PlanHits)
+	if *cacheDir != "" {
+		fmt.Printf("durable plan cache (%s): %d warm hits, %d warm-seeded searches, %d candidates pruned\n",
+			*cacheDir, res.PlanWarmHits, res.PlanWarmSeeds, res.PlanPruned)
+	}
 	if res.Preprocess != nil {
 		fmt.Printf("shared preprocessing: %s\n", res.Preprocess)
 	}

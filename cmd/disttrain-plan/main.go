@@ -33,6 +33,7 @@ func main() {
 		freeze      = flag.String("freeze", "full", "full, all-frozen, encoder-only, llm-only or generator-only")
 		parallelism = flag.Int("parallelism", 0, "plan-search worker count (0 = GOMAXPROCS)")
 		sweep       = flag.String("sweep", "", "comma-separated node counts to plan concurrently (overrides -nodes/-strategy)")
+		cacheDir    = flag.String("plan-cache-dir", "", "durable plan-cache directory: previously planned tasks load from disk instead of re-searching, and new sizes warm-start from their neighbours")
 	)
 	flag.Parse()
 
@@ -45,11 +46,20 @@ func main() {
 		fatal(err)
 	}
 	opts := disttrain.SearchOptions{Parallelism: *parallelism}
-
-	if *sweep != "" {
-		if err := runSweep(m, fr, *batch, *sweep, opts); err != nil {
+	var cache *disttrain.PlanCache
+	if *cacheDir != "" {
+		st, err := disttrain.NewDiskPlanStore(*cacheDir)
+		if err != nil {
 			fatal(err)
 		}
+		cache = disttrain.NewPersistentPlanCache(opts, st)
+	}
+
+	if *sweep != "" {
+		if err := runSweep(m, fr, *batch, *sweep, opts, cache); err != nil {
+			fatal(err)
+		}
+		reportCache(cache)
 		return
 	}
 
@@ -66,6 +76,9 @@ func main() {
 	}
 	planners := []planner{
 		{"disttrain", func(s disttrain.Spec) (*disttrain.Plan, error) {
+			if cache != nil {
+				return cache.Plan(context.Background(), s)
+			}
 			return disttrain.PlanDistTrainCtx(context.Background(), s, opts)
 		}},
 		{"megatron", disttrain.PlanMegatron},
@@ -82,11 +95,23 @@ func main() {
 		}
 		fmt.Println(plan)
 	}
+	reportCache(cache)
 }
 
-// runSweep plans the model at every requested cluster size in one
-// PlanMany call and prints a comparison table.
-func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string, opts disttrain.SearchOptions) error {
+// reportCache summarises the durable cache's work, when one is in use.
+func reportCache(cache *disttrain.PlanCache) {
+	if cache == nil {
+		return
+	}
+	fmt.Printf("durable plan cache: %d searches, %d warm hits, %d warm-seeded, %d candidates pruned\n",
+		cache.Searches(), cache.WarmHits(), cache.WarmSeeds(), cache.Pruned())
+}
+
+// runSweep plans the model at every requested cluster size — in one
+// PlanMany call over a shared worker pool, or through the durable
+// cache when one is configured (sequential, so each size can
+// warm-start from the previous one) — and prints a comparison table.
+func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string, opts disttrain.SearchOptions, cache *disttrain.PlanCache) error {
 	var nodeCounts []int
 	for _, f := range strings.Split(sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -105,7 +130,16 @@ func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string
 	}
 	fmt.Printf("sweep: %s, global batch %d, freeze=%s, %d cluster sizes\n\n", m.Name, batch, fr.Name, len(specs))
 	fmt.Printf("%6s %6s %6s %10s %7s\n", "nodes", "gpus", "used", "iter(s)", "mfu%")
-	for i, r := range disttrain.PlanMany(context.Background(), specs, opts) {
+	var results []disttrain.PlanResult
+	if cache != nil {
+		results = make([]disttrain.PlanResult, len(specs))
+		for i, s := range specs {
+			results[i].Plan, results[i].Err = cache.Plan(context.Background(), s)
+		}
+	} else {
+		results = disttrain.PlanMany(context.Background(), specs, opts)
+	}
+	for i, r := range results {
 		fleet := specs[i].Cluster.TotalGPUs()
 		if r.Err != nil {
 			fmt.Printf("%6d %6d      - infeasible: %v\n", nodeCounts[i], fleet, r.Err)

@@ -43,6 +43,7 @@ import (
 	"disttrain/internal/preprocess"
 	"disttrain/internal/profiler"
 	"disttrain/internal/scenario"
+	"disttrain/internal/store"
 	"disttrain/internal/trainer"
 )
 
@@ -198,7 +199,13 @@ type (
 	FleetPreprocessConfig = fleet.PreprocessConfig
 	// PlanCache is the fingerprint-keyed, singleflight plan-search
 	// cache fleets share: K identical specs pay for one §4.3 search.
+	// Built with NewPersistentPlanCache it is also durable — plans
+	// survive the process and warm-start searches at new lease sizes.
 	PlanCache = orchestrator.PlanCache
+	// PlanStore is the durable key-value seam a persistent PlanCache
+	// sits on: atomic last-write-wins puts, and corrupt or torn
+	// entries read as misses, never as payloads.
+	PlanStore = store.Store
 )
 
 // Fleet schedulers (policies). FIFO and FairShare are the historical
@@ -457,6 +464,25 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
 // identical specs across tenants pay for a single plan search.
 func NewPlanCache(opts SearchOptions) *PlanCache { return orchestrator.NewPlanCache(opts) }
 
+// NewPersistentPlanCache builds a plan cache written through to a
+// durable store: plans survive the process, a later cache instance
+// serves them with zero searches, and misses warm-start the §4.3
+// search from the incumbent plan of a neighbouring lease size —
+// without ever changing the chosen plan. FleetConfig.PlanCacheDir is
+// the one-line way to get one inside a fleet run.
+func NewPersistentPlanCache(opts SearchOptions, st PlanStore) *PlanCache {
+	return orchestrator.NewPersistentPlanCache(opts, st)
+}
+
+// NewMemPlanStore returns an in-process PlanStore — persistence across
+// cache instances within one process (mostly for tests and tooling).
+func NewMemPlanStore() PlanStore { return store.NewMem() }
+
+// NewDiskPlanStore opens (creating if needed) an on-disk PlanStore
+// rooted at dir: one integrity-checked entry file per fingerprint,
+// written atomically, corrupt entries skipped with a warning on read.
+func NewDiskPlanStore(dir string) (PlanStore, error) { return store.OpenDisk(dir) }
+
 // NewLease builds a lease over the given node indices of a shared
 // cluster.
 func NewLease(nodes ...int) Lease { return cluster.NewLease(nodes...) }
@@ -464,7 +490,10 @@ func NewLease(nodes ...int) Lease { return cluster.NewLease(nodes...) }
 // ParseFleetPolicy resolves a policy name (fifo, fair-share,
 // priority, or any name registered via RegisterFleetScheduler) to its
 // FleetScheduler.
-func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+func ParseFleetPolicy(s string) (FleetPolicy, error) {
+	//lint:ignore SA1019 this facade is the compatibility surface the deprecated shim exists for; it keeps the "fair" alias that LookupScheduler alone drops.
+	return fleet.ParsePolicy(s)
+}
 
 // ParseFleetClass validates a priority-class name ("" means normal).
 func ParseFleetClass(s string) (FleetClass, error) { return fleet.ParseClass(s) }

@@ -15,6 +15,7 @@ import (
 	"disttrain/internal/orchestrator"
 	"disttrain/internal/preprocess"
 	"disttrain/internal/scenario"
+	"disttrain/internal/store"
 	"disttrain/internal/trainer"
 )
 
@@ -70,6 +71,13 @@ type Config struct {
 	// warm); nil builds a private one with Search options. Result
 	// search/hit counts are deltas over this run either way.
 	Cache *orchestrator.PlanCache
+	// PlanCacheDir, when non-empty, makes the control plane durable:
+	// the fleet builds its plan cache over an on-disk store rooted
+	// there, so a later run (or process) serves repeated specs with
+	// zero cold searches and warm-starts searches at new lease sizes
+	// from their neighbours. Mutually exclusive with Cache — a caller
+	// supplying its own cache owns its persistence.
+	PlanCacheDir string
 	// Search tunes plan searches when the fleet builds its own cache.
 	Search orchestrator.SearchOptions
 	// Preprocess, when non-nil, attaches the fleet-shared
@@ -153,6 +161,13 @@ type Result struct {
 	// PlanSearches and PlanHits are the plan cache's delta over this
 	// run: searches actually executed vs calls served from the cache.
 	PlanSearches, PlanHits int64
+	// PlanWarmHits, PlanWarmSeeds and PlanPruned are the durable
+	// control plane's deltas: specs served from the on-disk store with
+	// no search, searches warm-started from a neighbouring lease size,
+	// and candidates those seeds' bounds pruned. All zero unless the
+	// cache is persistent (Config.PlanCacheDir or a persistent
+	// Config.Cache).
+	PlanWarmHits, PlanWarmSeeds, PlanPruned int64
 	// Trace is the merged fleet timeline (per-job lanes PID-offset
 	// into disjoint blocks, scheduler lane last); nil unless
 	// Config.Trace.
@@ -315,6 +330,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	cache := cfg.Cache
+	if cfg.PlanCacheDir != "" {
+		if cache != nil {
+			return nil, errors.New("fleet: Cache and PlanCacheDir are mutually exclusive")
+		}
+		st, err := store.OpenDisk(cfg.PlanCacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: plan cache dir: %w", err)
+		}
+		cache = orchestrator.NewPersistentPlanCache(cfg.Search, st)
+	}
 	if cache == nil {
 		cache = orchestrator.NewPlanCache(cfg.Search)
 	}
@@ -333,6 +358,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer f.stopPreprocess()
 	baseSearches, baseHits := cache.Searches(), cache.Hits()
+	baseWarmHits, baseWarmSeeds, basePruned := cache.WarmHits(), cache.WarmSeeds(), cache.Pruned()
 
 	lastRound := 0
 	for _, js := range cfg.Jobs {
@@ -380,9 +406,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Rounds:       f.round + 1,
-		PlanSearches: cache.Searches() - baseSearches,
-		PlanHits:     cache.Hits() - baseHits,
+		Rounds:        f.round + 1,
+		PlanSearches:  cache.Searches() - baseSearches,
+		PlanHits:      cache.Hits() - baseHits,
+		PlanWarmHits:  cache.WarmHits() - baseWarmHits,
+		PlanWarmSeeds: cache.WarmSeeds() - baseWarmSeeds,
+		PlanPruned:    cache.Pruned() - basePruned,
 	}
 	for _, t := range f.tenants {
 		res.Jobs = append(res.Jobs, JobResult{

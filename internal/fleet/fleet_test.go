@@ -171,6 +171,60 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetPlanCachePersistsAcrossRuns is the durable-control-plane
+// E2E gate: a second fleet run against a populated plan-cache dir
+// performs zero cold searches — every repeated spec is served from
+// disk, across cache instances AND across freshly calibrated profiler
+// instances (the fingerprint is content-addressed) — and lands on
+// identical plans.
+func TestFleetPlanCachePersistsAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	spec, corpus := buildSpec(t, 8, 32)
+	cfg := perturbedFleet(t, spec, corpus, 0)
+	cfg.PlanCacheDir = dir
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.PlanSearches == 0 {
+		t.Fatal("first run against an empty cache dir ran no searches")
+	}
+	t.Logf("cold run: %d searches, %d warm seeds, %d pruned candidates",
+		res1.PlanSearches, res1.PlanWarmSeeds, res1.PlanPruned)
+
+	// A fresh profiler with identical calibration must still hit: the
+	// durable key is calibration content, not the pointer.
+	spec2, corpus2 := buildSpec(t, 8, 32)
+	cfg2 := perturbedFleet(t, spec2, corpus2, 0)
+	cfg2.PlanCacheDir = dir
+	res2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PlanSearches != 0 {
+		t.Errorf("second run against a warm cache dir ran %d cold searches, want 0", res2.PlanSearches)
+	}
+	if res2.PlanWarmHits == 0 {
+		t.Error("second run recorded no warm hits")
+	}
+	if len(res1.Jobs) != len(res2.Jobs) {
+		t.Fatalf("run shapes diverged: %d vs %d jobs", len(res1.Jobs), len(res2.Jobs))
+	}
+	for i := range res1.Jobs {
+		if !reflect.DeepEqual(res1.Jobs[i].Plan, res2.Jobs[i].Plan) {
+			t.Errorf("job %s: warm plan diverged from cold plan", res1.Jobs[i].Name)
+		}
+	}
+
+	// Supplying both a cache and a cache dir is a config error.
+	cfg3 := perturbedFleet(t, spec, corpus, 0)
+	cfg3.Cache = orchestrator.NewPlanCache(orchestrator.SearchOptions{})
+	cfg3.PlanCacheDir = dir
+	if _, err := Run(cfg3); err == nil {
+		t.Error("Cache + PlanCacheDir accepted, want config error")
+	}
+}
+
 // TestFleetChurnSemantics re-runs the perturbed fleet once and checks
 // the scheduling story it should tell: the suspended tenant resumed
 // (resize count > 0), the departed tenant ended early with fewer

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // Chrome-trace-format timeline emission: the runtime records every
@@ -344,6 +346,19 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("metrics: atomic write %s: %w", path, err)
+	}
+	// The rename is atomic but not durable until the directory entry
+	// itself is on stable storage: a crash after rename but before the
+	// metadata flush can forget the file entirely. Fsync the parent
+	// directory to close that window (EINVAL is tolerated — some
+	// filesystems reject fsync on directories and provide the ordering
+	// themselves).
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil && !errors.Is(serr, syscall.EINVAL) {
+			return fmt.Errorf("metrics: atomic write %s: sync dir: %w", path, serr)
+		}
 	}
 	return nil
 }

@@ -54,7 +54,7 @@ func PlanDistTrainSequential(s Spec) (*Plan, error) {
 
 	var candidates []*Plan
 	for _, c := range enumerateCandidates(s, n) {
-		cand, err := solveSubproblem(s, c, n, replicate, floors)
+		cand, err := solveSubproblem(s, c, n, replicate, floors, math.Inf(1))
 		if err != nil {
 			continue // infeasible combination
 		}
@@ -65,6 +65,17 @@ func PlanDistTrainSequential(s Spec) (*Plan, error) {
 	}
 	return selectPlan(candidates), nil
 }
+
+// selectBand is selectPlan's tie-break width: any candidate within 1%
+// of the fastest iteration time competes on GPU count (§7.1). The
+// branch-and-bound prune in solveSubproblem shares this constant — a
+// pruned candidate must be provably outside the band.
+const selectBand = 1.01
+
+// pruneSlack guards the prune comparison against floating-point
+// ordering at the band edge: a candidate is only pruned when its lower
+// bound clears bound*selectBand by this relative margin.
+const pruneSlack = 1e-9
 
 // selectPlan picks the fastest candidate, then trades within a 1%
 // iteration-time band for the fewest GPUs: "DistTrain intentionally
@@ -80,7 +91,7 @@ func selectPlan(candidates []*Plan) *Plan {
 	}
 	best := fastest
 	for _, c := range candidates {
-		if c.IterTime <= fastest.IterTime*1.01 {
+		if c.IterTime <= fastest.IterTime*selectBand {
 			if c.TotalGPUs() < best.TotalGPUs() ||
 				(c.TotalGPUs() == best.TotalGPUs() && c.IterTime < best.IterTime) {
 				best = c
@@ -156,7 +167,12 @@ func moduleMemoryOK(s Spec, mp ModulePlan) error {
 // called concurrently by the search engine's workers: it must stay
 // free of shared mutable state beyond the thread-safe floor cache and
 // the profiler's memoized cost queries.
-func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCache) (*Plan, error) {
+//
+// bound is a known-achievable iteration time (+Inf to disable):
+// candidates whose convex lower bound proves they cannot beat
+// bound*selectBand are skipped with ErrCandidatePruned before the
+// expensive water-fill + golden-section stages.
+func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCache, bound float64) (*Plan, error) {
 	tpLM, dpLM, wME, wMG := c.TPLM, c.DPLM, c.WME, c.WMG
 	m := float64(s.Microbatch)
 	k := s.GlobalBatch / (dpLM * s.Microbatch) // microbatches per iteration
@@ -201,6 +217,26 @@ func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCa
 	objective := func(x, y, z float64) float64 {
 		steady := math.Max(weights[0]/x, math.Max(weights[1]/y, weights[2]/z)) * float64(k-1)
 		return warmup(x, z) + steady
+	}
+
+	// Branch-and-bound prune. objective is decreasing in each argument,
+	// and any feasible allocation satisfies alloc_i <= u_i = n − Σ_{j≠i}
+	// lower_j, so objective(u_x, u_y, u_z) lower-bounds every iteration
+	// time this candidate can achieve — including the exact integer
+	// time, because Evaluate's stage/warm-up algebra equals this closure
+	// at the rounded allocation for plans of the searched shape. A
+	// candidate whose bound exceeds bound*selectBand can therefore be
+	// neither the fastest plan nor inside selectPlan's tie-break band:
+	// skipping it cannot change the selected plan.
+	if !math.IsInf(bound, 1) {
+		sumLower := lower[0] + lower[1] + lower[2]
+		lb := objective(
+			float64(n)-(sumLower-lower[0]),
+			float64(n)-(sumLower-lower[1]),
+			float64(n)-(sumLower-lower[2]))
+		if lb > bound*selectBand*(1+pruneSlack) {
+			return nil, ErrCandidatePruned
+		}
 	}
 
 	// Stage 1: exact water-filling on the steady term gives the optimum

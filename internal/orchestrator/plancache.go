@@ -2,12 +2,15 @@ package orchestrator
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
-	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
-	"disttrain/internal/profiler"
+	"disttrain/internal/fingerprint"
+	"disttrain/internal/model"
+	"disttrain/internal/store"
 )
 
 // PlanCache is the planning-as-a-service layer the multi-tenant fleet
@@ -17,81 +20,125 @@ import (
 // jobs with identical specs (same model, batch geometry, lease size,
 // calibrated profile) would each pay the full strategy enumeration,
 // the planner's hot path (Table 3). The cache collapses them: the
-// first caller runs PlanDistTrainCtx, every concurrent or later
-// caller with the same fingerprint blocks on (or reuses) that one
-// search. Lease resizes hit the same cache, so growing back to a
-// previously planned size is free.
+// first caller runs the search, every concurrent or later caller with
+// the same fingerprint blocks on (or reuses) that one search. Lease
+// resizes hit the same cache, so growing back to a previously planned
+// size is free.
 //
-// Fingerprints cover every spec field the search reads: the cluster
-// shape and fabric, the model architecture, batch geometry, GPU
-// budget, VPP, and the profiler (by identity — see fingerprint).
-// Plans are returned as private copies, so tenants can never alias
-// each other's orchestration decision.
+// A cache built with NewPersistentPlanCache additionally sits on a
+// durable store: successful plans are written through, and a later
+// process (or a later cache instance) serves them as warm hits with
+// zero searches. On a true miss the cache warm-starts the search from
+// the incumbent plan of a neighbouring lease size (Nodes±1, same spec
+// family): the incumbent's strategy is evaluated first and its known
+// iteration time prunes the rest of the enumeration, without ever
+// changing the chosen plan.
 type PlanCache struct {
-	opts SearchOptions
+	opts  SearchOptions
+	store store.Store // nil for a purely in-memory cache
 
 	mu      sync.Mutex
 	entries map[string]*planEntry
-	// profIDs names profilers by pointer identity: a Profiler's
-	// calibration is not cheaply hashable, and fleet tenants built from
-	// one template share the profiler pointer. Distinct profilers with
-	// identical calibrations therefore miss — correct, just not
-	// maximally shared. IDs are assigned in first-seen order, which is
-	// deterministic because the fleet admits jobs deterministically.
-	profIDs map[*profiler.Profiler]int
 
-	searches atomic.Int64
-	hits     atomic.Int64
+	// loopHook, when non-nil, observes each retry-loop iteration of
+	// Plan — a test seam for the eviction/retry path.
+	loopHook func()
+
+	searches  atomic.Int64
+	hits      atomic.Int64
+	warmHits  atomic.Int64
+	warmSeeds atomic.Int64
+	pruned    atomic.Int64
+	storeErrs atomic.Int64
 }
 
-// planEntry is one fingerprint's singleflight slot.
+// planEntry is one fingerprint's singleflight slot. ready flips after
+// once.Do completes, so warm-seed lookups can read settled entries
+// without blocking on in-flight searches.
 type planEntry struct {
-	once sync.Once
-	plan *Plan
-	err  error
+	once  sync.Once
+	ready atomic.Bool
+	plan  *Plan
+	err   error
 }
 
-// NewPlanCache builds an empty cache; opts tunes every search it runs
-// (the chosen plans are independent of opts.Parallelism).
+// NewPlanCache builds an empty in-memory cache; opts tunes every
+// search it runs (the chosen plans are independent of
+// opts.Parallelism).
 func NewPlanCache(opts SearchOptions) *PlanCache {
-	return &PlanCache{
-		opts:    opts,
-		entries: make(map[string]*planEntry),
-		profIDs: make(map[*profiler.Profiler]int),
-	}
+	return &PlanCache{opts: opts, entries: make(map[string]*planEntry)}
 }
 
-// fingerprint derives the cache key for a spec. Cluster node identity
-// is not part of a Spec, so two leases of equal size over different
-// nodes fingerprint identically under count-based policies
-// (Spec.Placement empty) — placement then never changes the cost
-// model, only counts do. Placement-aware fleets set Spec.Placement to
-// the lease's shape, keying cached plans on it: a packed lease and a
-// fragmented one of equal size plan (and price) separately.
-func (c *PlanCache) fingerprint(s Spec) string {
-	c.mu.Lock()
-	id, ok := c.profIDs[s.Profiler]
-	if !ok {
-		id = len(c.profIDs)
-		c.profIDs[s.Profiler] = id
-	}
-	c.mu.Unlock()
-	return fmt.Sprintf("cl=%+v model=%+v bs=%d m=%d max=%d vpp=%d prof=%d place=%s",
-		s.Cluster, s.Model, s.GlobalBatch, s.Microbatch, s.MaxGPUs, s.VPP, id, s.Placement)
+// NewPersistentPlanCache builds a cache written through to st:
+// successful plans persist across processes, and misses warm-start
+// from neighbouring lease sizes. st must honour the store contract —
+// corrupt or torn entries read as misses, never as payloads.
+func NewPersistentPlanCache(opts SearchOptions, st store.Store) *PlanCache {
+	c := NewPlanCache(opts)
+	c.store = st
+	return c
 }
+
+// fingerprintSpec derives the canonical cache key for a spec: a
+// content hash over every field the search reads — cluster shape and
+// fabric, model architecture, batch geometry, GPU budget, VPP,
+// placement shape, and the profiler's calibration fingerprint. No
+// pointer identity anywhere: two independently calibrated profilers
+// with identical options and calibration data share plans, and the key
+// is stable across processes (it doubles as the durable store's
+// filename). Cluster node identity is not part of a Spec, so two
+// leases of equal size over different nodes fingerprint identically
+// under count-based policies (Placement empty); placement-aware fleets
+// set Placement to the lease's shape, keying a packed lease and a
+// fragmented one separately.
+func fingerprintSpec(s Spec) string {
+	h := fingerprint.New("disttrain-plan-spec/v1")
+	fingerprint.Cluster(h, s.Cluster)
+	fingerprint.Model(h, s.Model)
+	h.Int(s.GlobalBatch)
+	h.Int(s.Microbatch)
+	h.Int(s.MaxGPUs)
+	h.Int(s.VPP)
+	h.Str(s.Placement)
+	h.Bool(s.Profiler != nil)
+	if s.Profiler != nil {
+		h.Str(s.Profiler.CalibrationFingerprint())
+	}
+	return h.Sum()
+}
+
+// planEnvelope is the durable store's payload: a versioned JSON
+// wrapper so the format can evolve without poisoning old caches, with
+// the fingerprint inside as a self-check against misfiled entries.
+// Plan holds only value types and finite float64s, so the JSON round
+// trip is exact.
+type planEnvelope struct {
+	V    int    `json:"v"`
+	Spec string `json:"spec"`
+	Plan Plan   `json:"plan"`
+}
+
+const planEnvelopeV = 1
 
 // Plan returns the §4.3 plan for the spec, running the search at most
 // once per fingerprint: concurrent callers with the same fingerprint
 // share a single evaluation (singleflight), and later callers reuse
-// the stored outcome. Infeasibility errors are cached too — a spec
-// that cannot be planned today cannot be planned by retrying — but a
-// search cut short by the caller's context (cancellation, deadline)
-// is evicted, so a later caller with a healthy context retries
-// instead of inheriting the poisoned entry. The returned plan is a
-// private copy.
+// the stored outcome. A persistent cache first consults the durable
+// store (a warm hit runs no search at all); a true miss runs the
+// search, warm-seeded from a neighbouring lease size when an incumbent
+// exists, and writes the result through. Infeasibility errors are
+// cached too — a spec that cannot be planned today cannot be planned
+// by retrying — but a search cut short by the caller's context
+// (cancellation, deadline) is evicted, so a later caller with a
+// healthy context retries instead of inheriting the poisoned entry.
+// The returned plan is a private copy.
 func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
-	key := c.fingerprint(s)
+	key := fingerprintSpec(s)
+	counted := false // a call is at most one hit, however often it loops
 	for {
+		if c.loopHook != nil {
+			c.loopHook()
+		}
 		c.mu.Lock()
 		e, ok := c.entries[key]
 		if !ok {
@@ -99,12 +146,30 @@ func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
 			c.entries[key] = e
 		}
 		c.mu.Unlock()
-		if ok {
+		if ok && !counted {
 			c.hits.Add(1)
+			counted = true
 		}
 		e.once.Do(func() {
+			defer e.ready.Store(true)
+			if plan, ok := c.loadStored(key); ok {
+				c.warmHits.Add(1)
+				e.plan = plan
+				return
+			}
 			c.searches.Add(1)
-			e.plan, e.err = PlanDistTrainCtx(ctx, s, c.opts)
+			opts := c.opts
+			if seed := c.neighborSeed(s); seed != nil {
+				opts.Seed = seed
+				opts.Prune = true
+				c.warmSeeds.Add(1)
+			}
+			r := PlanMany(ctx, []Spec{s}, opts)[0]
+			e.plan, e.err = r.Plan, r.Err
+			c.pruned.Add(int64(r.Pruned))
+			if e.err == nil {
+				c.persist(key, e.plan)
+			}
 		})
 		if e.err == nil {
 			cp := *e.plan // Plan holds no reference types: a value copy is private
@@ -128,11 +193,105 @@ func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
 	}
 }
 
+// loadStored reads and decodes a durable entry. Any failure — store
+// miss, I/O error, unknown version, fingerprint mismatch — degrades to
+// a cold search; decode failures can never poison planning.
+func (c *PlanCache) loadStored(key string) (*Plan, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	b, ok, err := c.store.Get(key)
+	if err != nil {
+		c.storeErrs.Add(1)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	var env planEnvelope
+	if err := json.Unmarshal(b, &env); err != nil || env.V != planEnvelopeV || env.Spec != key {
+		c.storeErrs.Add(1)
+		return nil, false
+	}
+	p := env.Plan
+	return &p, true
+}
+
+// persist writes a successful plan through to the durable store.
+// Write failures only increment StoreErrs — the in-memory entry is
+// already serving callers, and a cache that cannot persist is still a
+// correct cache.
+func (c *PlanCache) persist(key string, plan *Plan) {
+	if c.store == nil {
+		return
+	}
+	b, err := json.Marshal(planEnvelope{V: planEnvelopeV, Spec: key, Plan: *plan})
+	if err == nil {
+		err = c.store.Put(key, b)
+	}
+	if err != nil {
+		c.storeErrs.Add(1)
+	}
+}
+
+// neighborSeed looks for an incumbent plan at a neighbouring lease
+// size (Nodes−1 first, then Nodes+1, same spec family) and extracts
+// its strategy combination as a search seed. Placement-aware specs
+// guess the packed shape for the neighbour — a wrong guess just
+// misses. The seed only ever accelerates the search; it cannot change
+// its outcome.
+func (c *PlanCache) neighborSeed(s Spec) *Candidate {
+	for _, delta := range []int{-1, 1} {
+		nodes := s.Cluster.Nodes + delta
+		if nodes < 1 {
+			continue
+		}
+		ns := s
+		ns.Cluster.Nodes = nodes
+		if ns.Placement != "" {
+			ns.Placement = strconv.Itoa(nodes)
+		}
+		if plan := c.incumbent(fingerprintSpec(ns)); plan != nil {
+			return &Candidate{
+				TPLM: plan.Modules[model.Backbone].Config.TP,
+				DPLM: plan.Modules[model.Backbone].Config.DP,
+				WME:  plan.Modules[model.Encoder].Config.TP,
+				WMG:  plan.Modules[model.Generator].Config.TP,
+			}
+		}
+	}
+	return nil
+}
+
+// incumbent returns a settled successful plan for key, from memory or
+// the durable store, without blocking on in-flight searches.
+func (c *PlanCache) incumbent(key string) *Plan {
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e != nil && e.ready.Load() && e.err == nil {
+		return e.plan
+	}
+	if plan, ok := c.loadStored(key); ok {
+		return plan
+	}
+	return nil
+}
+
 // Searches returns how many real plan searches the cache ran; Hits how
 // many calls were served by an existing fingerprint (including callers
-// that blocked on an in-flight search).
+// that blocked on an in-flight search, at most one per call).
 func (c *PlanCache) Searches() int64 { return c.searches.Load() }
 func (c *PlanCache) Hits() int64     { return c.hits.Load() }
+
+// WarmHits counts fingerprints served from the durable store with no
+// search; WarmSeeds counts searches seeded from a neighbouring size;
+// Pruned counts candidates those seeds' bounds skipped; StoreErrs
+// counts store failures the cache degraded around.
+func (c *PlanCache) WarmHits() int64  { return c.warmHits.Load() }
+func (c *PlanCache) WarmSeeds() int64 { return c.warmSeeds.Load() }
+func (c *PlanCache) Pruned() int64    { return c.pruned.Load() }
+func (c *PlanCache) StoreErrs() int64 { return c.storeErrs.Load() }
 
 // Len returns the number of distinct fingerprints planned so far.
 func (c *PlanCache) Len() int {

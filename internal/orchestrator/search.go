@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,9 +43,25 @@ type SearchOptions struct {
 	Parallelism int
 	// OnCandidate, when non-nil, observes every evaluated candidate:
 	// plan is non-nil for feasible combinations, err explains
-	// infeasible ones. It is invoked from worker goroutines and must be
-	// safe for concurrent use.
+	// infeasible ones (pruned candidates report ErrCandidatePruned).
+	// It is invoked from worker goroutines and must be safe for
+	// concurrent use.
 	OnCandidate func(c Candidate, plan *Plan, err error)
+	// Seed, when non-nil, names a candidate to evaluate synchronously
+	// before the parallel fan-out — typically the incumbent strategy of
+	// a cached plan for a neighbouring spec. Its iteration time becomes
+	// a fixed branch-and-bound bound for the whole search when Prune is
+	// set; because the bound never moves after the fan-out starts,
+	// prune decisions (and the Pruned count) are deterministic at any
+	// parallelism. A seed outside the spec's strategy set is ignored.
+	// Seeding never changes the chosen plan.
+	Seed *Candidate
+	// Prune enables branch-and-bound pruning against the seed's
+	// iteration time: subproblems whose convex lower bound provably
+	// exceeds every selectable time are skipped before the expensive
+	// water-fill. Conservative by construction — the returned plan is
+	// byte-identical to the unpruned search.
+	Prune bool
 }
 
 func (o SearchOptions) workers() int {
@@ -55,6 +72,23 @@ func (o SearchOptions) workers() int {
 }
 
 var errNoFeasiblePlan = errors.New("orchestrator: no feasible plan (cluster too small for the model)")
+
+// ErrCandidatePruned marks a strategy combination skipped by the
+// branch-and-bound bound: its convex lower bound proved it can neither
+// be the fastest plan nor enter selectPlan's tie-break band. Reported
+// to OnCandidate observers in place of an infeasibility error.
+var ErrCandidatePruned = errors.New("orchestrator: candidate pruned by search bound")
+
+// candidateIndex returns c's position in the enumeration, or -1 when c
+// is not a member of the strategy set (a stale or cross-geometry seed).
+func candidateIndex(cands []Candidate, c Candidate) int {
+	for i, x := range cands {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
 
 // enumerateCandidates materialises the finite strategy set in the
 // deterministic order of the original nested-loop enumeration. The
@@ -132,7 +166,9 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 		cands     []Candidate
 		results   []*Plan
 		floors    *floorCache
+		bound     float64      // fixed branch-and-bound bound (+Inf unless seeded)
 		done      atomic.Int64 // candidates evaluated so far
+		pruned    atomic.Int64 // candidates skipped by the bound
 	}
 	searches := make([]*search, len(specs))
 	type job struct{ spec, cand int }
@@ -142,21 +178,47 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 			out[i].Err = err
 			continue
 		}
-		se := &search{spec: s, n: s.maxGPUs(), replicate: s.Profiler.Options().ReplicateSmallModules, floors: &floorCache{}}
+		se := &search{spec: s, n: s.maxGPUs(), replicate: s.Profiler.Options().ReplicateSmallModules, floors: &floorCache{}, bound: math.Inf(1)}
 		se.cands = enumerateCandidates(s, se.n)
 		se.results = make([]*Plan, len(se.cands))
 		searches[i] = se
+		// A seed candidate is evaluated synchronously before the fan-out
+		// so its iteration time is a FIXED bound for every worker — no
+		// running best-so-far, hence deterministic prune counts.
+		seeded := -1
+		if opts.Seed != nil && ctx.Err() == nil {
+			if si := candidateIndex(se.cands, *opts.Seed); si >= 0 {
+				seeded = si
+				plan, err := solveSubproblem(s, se.cands[si], se.n, se.replicate, se.floors, math.Inf(1))
+				if err == nil {
+					se.results[si] = plan
+					se.bound = plan.IterTime
+				}
+				se.done.Add(1)
+				if opts.OnCandidate != nil {
+					opts.OnCandidate(se.cands[si], plan, err)
+				}
+			}
+		}
 		for c := range se.cands {
-			jobs = append(jobs, job{spec: i, cand: c})
+			if c != seeded {
+				jobs = append(jobs, job{spec: i, cand: c})
+			}
 		}
 	}
 
 	runWorkers(ctx, opts.workers(), len(jobs), func(j int) {
 		se := searches[jobs[j].spec]
 		c := jobs[j].cand
-		plan, err := solveSubproblem(se.spec, se.cands[c], se.n, se.replicate, se.floors)
+		bound := math.Inf(1)
+		if opts.Prune {
+			bound = se.bound
+		}
+		plan, err := solveSubproblem(se.spec, se.cands[c], se.n, se.replicate, se.floors, bound)
 		if err == nil {
 			se.results[c] = plan
+		} else if errors.Is(err, ErrCandidatePruned) {
+			se.pruned.Add(1)
 		}
 		se.done.Add(1)
 		if opts.OnCandidate != nil {
@@ -175,6 +237,7 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 			continue
 		}
 		out[i].Plan, out[i].Err = reducePlans(se.results)
+		out[i].Pruned = int(se.pruned.Load())
 	}
 	return out
 }
@@ -184,6 +247,9 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 type PlanResult struct {
 	Plan *Plan
 	Err  error
+	// Pruned counts candidates the branch-and-bound bound skipped;
+	// always zero unless SearchOptions.Seed and Prune were both set.
+	Pruned int
 }
 
 // runWorkers evaluates eval(0..n-1) on a pool of the given size,

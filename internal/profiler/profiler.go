@@ -95,6 +95,11 @@ type Profiler struct {
 	// costs, so workers hit this lock-free cache instead of re-running
 	// the analytic model. Invalidated by Calibrate.
 	costs sync.Map // costKey -> float64
+	// fp is the cached CalibrationFingerprint, recomputed whenever the
+	// hashed state changes (New, CalibrateShapes). A plain field is safe
+	// under the same contract as meanShape: calibration never races
+	// queries.
+	fp string
 }
 
 // costKey identifies one memoized mean-shape cost query.
@@ -128,7 +133,9 @@ func New(opts Options) (*Profiler, error) {
 	if opts.StepCCLOverlap < 0 || opts.StepCCLOverlap > 1 {
 		return nil, fmt.Errorf("profiler: StepCCLOverlap %g outside [0,1]", opts.StepCCLOverlap)
 	}
-	return &Profiler{opts: opts, interpTable: map[interpKey][]interpPoint{}}, nil
+	p := &Profiler{opts: opts, interpTable: map[interpKey][]interpPoint{}}
+	p.fp = p.computeFingerprint()
+	return p, nil
 }
 
 // Options returns the profiler's configuration.
@@ -283,6 +290,7 @@ func (p *Profiler) CalibrateShapes(shapes []model.SampleShape) error {
 		return true
 	})
 	p.buildInterpolation()
+	p.fp = p.computeFingerprint()
 	return nil
 }
 
