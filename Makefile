@@ -69,10 +69,18 @@ BENCH_TIME ?= 100x
 # cold search) is the deterministic allocs/op count, which would jump
 # two orders of magnitude.
 BENCH_WARM_TIME ?= 5000x
+# The cold-admission storm pays 16 full cold searches per op (~25-60ms
+# each way), so BENCH_TIME=100x would burn minutes measuring a number
+# whose band is self-widened to ±60% anyway; 20x keeps the recording
+# honest (a second-plus of measured work per sample) without
+# dominating the bench-json run. Its tight gate is the one-sided
+# allocs/op tripwire, which two ops already pin exactly.
+BENCH_STORM_TIME ?= 20x
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench.out
 	$(GO) test -bench='BenchmarkFleetThroughput|BenchmarkServiceThroughput|BenchmarkWarmPlanSearch/cold' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
 	$(GO) test -bench='BenchmarkWarmPlanSearch/warm' -benchtime=$(BENCH_WARM_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
+	$(GO) test -bench='BenchmarkColdAdmissionStorm' -benchtime=$(BENCH_STORM_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
 	$(GO) run ./cmd/disttrain-benchjson -o $(BENCH_JSON) < bench.out
 	@rm -f bench.out
 
@@ -97,6 +105,7 @@ BENCH_ALLOC_BAND ?= 10
 bench-diff:
 	$(GO) test -bench='BenchmarkFleetThroughput|BenchmarkServiceThroughput|BenchmarkWarmPlanSearch/cold' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . > bench.out
 	$(GO) test -bench='BenchmarkWarmPlanSearch/warm' -benchtime=$(BENCH_WARM_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
+	$(GO) test -bench='BenchmarkColdAdmissionStorm' -benchtime=$(BENCH_STORM_TIME) -count=$(BENCH_COUNT) -benchmem -run='^$$' . >> bench.out
 	$(GO) run ./cmd/disttrain-benchjson -diff $(BENCH_JSON) -band $(BENCH_BAND) -alloc-band $(BENCH_ALLOC_BAND) < bench.out
 	@rm -f bench.out
 

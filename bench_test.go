@@ -686,3 +686,83 @@ func BenchmarkTrainerIteration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkColdAdmissionStorm measures admission under the worst-case
+// cold burst: 16 jobs with distinct batch geometries — 16 distinct
+// plan fingerprints — all arriving at round 0 against a fresh private
+// plan cache, so every op pays 16 cold §4.3 searches. The inline
+// variant is the legacy round-blocking admission (the recorded
+// baseline the pipelined rate is judged against); the pipelined
+// variant reserves leases immediately and batches the misses into
+// shared sample-bounded waves on a 4-planner pool. The gated rate is
+// cpu-iters/s — training iterations per process-CPU second — so the
+// pipelined win has to come from the sample-bounded search doing
+// less arithmetic, not from overlap hiding wall-clock. The
+// deterministic tripwire is allocs/op (one-sided, like every fleet
+// gate); the rate band self-widens to ±60% because 16 cold searches
+// allocate enough per op for GC scheduling to move medians.
+func BenchmarkColdAdmissionStorm(b *testing.B) {
+	corpus, err := data.NewCorpus(data.LAION400M())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 16
+	const itersPerJob = 2
+	spec := benchSpec(b, model.MLLM9B(), 2*jobs, 32)
+	cfgFor := func(planners int) FleetConfig {
+		cfg := FleetConfig{Cluster: spec.Cluster, Planners: planners}
+		for j := 0; j < jobs; j++ {
+			js := spec
+			js.GlobalBatch = 32 + 8*j // distinct fingerprint, shared calibration
+			tmpl := NewTrainConfig(js, nil, corpus)
+			tmpl.Parallelism = 2
+			cfg.Jobs = append(cfg.Jobs, FleetJobSpec{
+				Name: fmt.Sprintf("t%d", j), Train: tmpl,
+				Iters: itersPerJob, MinNodes: 2, MaxNodes: 2,
+			})
+		}
+		return cfg
+	}
+	for _, mode := range []struct {
+		name     string
+		planners int
+	}{{"inline", 0}, {"pipelined", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := cfgFor(mode.planners)
+			spinBefore := spinRate()
+			b.ReportAllocs()
+			b.ResetTimer()
+			cpuStart := processCPUTime()
+			for i := 0; i < b.N; i++ {
+				res, err := RunFleet(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, jr := range res.Jobs {
+					if jr.Err != nil {
+						b.Fatal(jr.Err)
+					}
+				}
+				if res.PlanSearches != jobs {
+					b.Fatalf("storm ran %d plan searches, want %d cold", res.PlanSearches, jobs)
+				}
+			}
+			cpu := processCPUTime() - cpuStart
+			b.StopTimer()
+			spin := (spinBefore + spinRate()) / 2
+			totalIters := float64(jobs * itersPerJob * b.N)
+			b.ReportMetric(totalIters/b.Elapsed().Seconds(), "iters/s")
+			if cpu > 0 {
+				rate := totalIters / cpu.Seconds()
+				b.ReportMetric(rate, "cpu-iters/s")
+				if spin > 0 {
+					b.ReportMetric(rate*refSpinRate/spin, "norm-iters/s")
+				}
+			}
+			// Self-widened collapse detector; allocs/op is the tight
+			// gate (reported after the run: ResetTimer deletes user
+			// metrics).
+			b.ReportMetric(60, "band%")
+		})
+	}
+}

@@ -5,9 +5,13 @@
 // fair-share, or priority with preemption, aging and packed
 // placement), and all plan searches go through one fingerprint-keyed
 // cache — identical jobs pay for a single §4.3 search. The fleet-scope
-// scenario grammar injects arrivals, departures, node failures/rejoins
-// and priority storms; -trace writes the merged per-job Chrome-trace
-// timeline (atomically: temp file + rename).
+// scenario grammar injects arrivals, departures, node failures/rejoins,
+// priority storms and herd bursts; -trace writes the merged per-job
+// Chrome-trace timeline (atomically: temp file + rename). With
+// -planners N admission is pipelined: the lease is reserved up front,
+// the plan search runs on an async pool overlapping running tenants,
+// and the job lands at a deterministic round from a costed
+// planning-latency model.
 //
 // Examples:
 //
@@ -18,6 +22,8 @@
 //	disttrain-fleet -nodes 8 -jobs 2 -policy priority \
 //	    -scenario 'preempt-storm:iter=2,job=1,class=high,count=2'
 //	disttrain-fleet -nodes 16 -jobs 4 -job-nodes 4-4 -trace fleet.json
+//	disttrain-fleet -nodes 8 -jobs 1 -job-nodes 2-2 -planners 4 \
+//	    -scenario 'herd:iter=0,job=0,count=3'
 //	disttrain-fleet -nodes 8 -jobs 3 -producers 2 \
 //	    -scenario 'producer-fail:iter=1,producer=0; producer-join:iter=4,producer=0'
 package main
@@ -50,6 +56,7 @@ func main() {
 		producers = flag.Int("producers", 0, "shared preprocessing producers (0 = no shared tier); jobs fetch batches over TCP with per-tenant quotas and weighted fair queueing")
 		slots     = flag.Int("preprocess-slots", 2, "per-tenant admission quota per leased node on the shared tier")
 		cacheDir  = flag.String("plan-cache-dir", "", "durable plan-cache directory: plans persist across runs, repeated specs skip the search entirely, and new lease sizes warm-start from their neighbours")
+		planners  = flag.Int("planners", 0, "async planner pool size for pipelined admission (0 = legacy inline search, -1 = sequential pipelined reference); admission reserves the lease and overlaps the §4.3 search with running tenants, landing at a deterministic round")
 	)
 	profile := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -111,6 +118,7 @@ func main() {
 		Workers:      *workers,
 		Trace:        *traceFile != "",
 		PlanCacheDir: *cacheDir,
+		Planners:     *planners,
 	}
 	for i := 0; i < *jobs; i++ {
 		cfg.Jobs = append(cfg.Jobs, disttrain.FleetJobSpec{
@@ -147,6 +155,10 @@ func main() {
 	fmt.Printf("fleet: %d nodes, %s policy, %d rounds, %d tenants\n",
 		*nodes, pol.Name(), res.Rounds, len(res.Jobs))
 	fmt.Printf("plan cache: %d searches, %d hits\n", res.PlanSearches, res.PlanHits)
+	if *planners != 0 {
+		fmt.Printf("pipelined admission: %d coalesced plan requests, %d rounds of planning overlapped with training\n",
+			res.PlanCoalesced, res.PlanOverlapRounds)
+	}
 	if *cacheDir != "" {
 		fmt.Printf("durable plan cache (%s): %d warm hits, %d warm-seeded searches, %d candidates pruned\n",
 			*cacheDir, res.PlanWarmHits, res.PlanWarmSeeds, res.PlanPruned)

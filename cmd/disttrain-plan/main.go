@@ -34,6 +34,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "plan-search worker count (0 = GOMAXPROCS)")
 		sweep       = flag.String("sweep", "", "comma-separated node counts to plan concurrently (overrides -nodes/-strategy)")
 		cacheDir    = flag.String("plan-cache-dir", "", "durable plan-cache directory: previously planned tasks load from disk instead of re-searching, and new sizes warm-start from their neighbours")
+		planners    = flag.Int("planners", 0, "async planner pool for the sweep (0 = synchronous): sizes are enqueued up front, duplicate tasks coalesce onto one in-flight search, and results publish in sweep order")
 	)
 	flag.Parse()
 
@@ -55,8 +56,21 @@ func main() {
 		cache = disttrain.NewPersistentPlanCache(opts, st)
 	}
 
+	if *planners < 0 {
+		fatal(fmt.Errorf("-planners %d invalid (want >= 0)", *planners))
+	}
+	if *planners > 0 {
+		if cache == nil {
+			cache = disttrain.NewPlanCache(opts)
+		}
+		if err := cache.StartPlanners(*planners); err != nil {
+			fatal(err)
+		}
+		defer cache.StopPlanners()
+	}
+
 	if *sweep != "" {
-		if err := runSweep(m, fr, *batch, *sweep, opts, cache); err != nil {
+		if err := runSweep(m, fr, *batch, *sweep, opts, cache, *planners); err != nil {
 			fatal(err)
 		}
 		reportCache(cache)
@@ -74,7 +88,7 @@ func main() {
 		name string
 		fn   func(disttrain.Spec) (*disttrain.Plan, error)
 	}
-	planners := []planner{
+	strategies := []planner{
 		{"disttrain", func(s disttrain.Spec) (*disttrain.Plan, error) {
 			if cache != nil {
 				return cache.Plan(context.Background(), s)
@@ -84,7 +98,7 @@ func main() {
 		{"megatron", disttrain.PlanMegatron},
 		{"distmm", disttrain.PlanDistMM},
 	}
-	for _, p := range planners {
+	for _, p := range strategies {
 		if *strategy != "all" && *strategy != p.name {
 			continue
 		}
@@ -103,15 +117,18 @@ func reportCache(cache *disttrain.PlanCache) {
 	if cache == nil {
 		return
 	}
-	fmt.Printf("durable plan cache: %d searches, %d warm hits, %d warm-seeded, %d candidates pruned\n",
-		cache.Searches(), cache.WarmHits(), cache.WarmSeeds(), cache.Pruned())
+	fmt.Printf("plan cache: %d searches, %d warm hits, %d warm-seeded, %d coalesced, %d candidates pruned\n",
+		cache.Searches(), cache.WarmHits(), cache.WarmSeeds(), cache.Coalesced(), cache.Pruned())
 }
 
 // runSweep plans the model at every requested cluster size — in one
 // PlanMany call over a shared worker pool, or through the durable
 // cache when one is configured (sequential, so each size can
-// warm-start from the previous one) — and prints a comparison table.
-func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string, opts disttrain.SearchOptions, cache *disttrain.PlanCache) error {
+// warm-start from the previous one). With -planners the cache's async
+// tier takes over: every size is enqueued before any result is
+// awaited, duplicates coalesce onto one in-flight search, and plans
+// publish in sweep order. Prints a comparison table.
+func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string, opts disttrain.SearchOptions, cache *disttrain.PlanCache, planners int) error {
 	var nodeCounts []int
 	for _, f := range strings.Split(sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -131,7 +148,17 @@ func runSweep(m disttrain.MLLM, fr disttrain.FreezeSpec, batch int, sweep string
 	fmt.Printf("sweep: %s, global batch %d, freeze=%s, %d cluster sizes\n\n", m.Name, batch, fr.Name, len(specs))
 	fmt.Printf("%6s %6s %6s %10s %7s\n", "nodes", "gpus", "used", "iter(s)", "mfu%")
 	var results []disttrain.PlanResult
-	if cache != nil {
+	if planners > 0 {
+		tickets := make([]*disttrain.PlanTicket, len(specs))
+		for i, s := range specs {
+			tickets[i] = cache.PlanAsync(context.Background(), s)
+		}
+		results = make([]disttrain.PlanResult, len(specs))
+		for i, tk := range tickets {
+			results[i].Plan, results[i].Err = tk.Wait(context.Background())
+			tk.Publish()
+		}
+	} else if cache != nil {
 		results = make([]disttrain.PlanResult, len(specs))
 		for i, s := range specs {
 			results[i].Plan, results[i].Err = cache.Plan(context.Background(), s)

@@ -202,6 +202,10 @@ type (
 	// Built with NewPersistentPlanCache it is also durable — plans
 	// survive the process and warm-start searches at new lease sizes.
 	PlanCache = orchestrator.PlanCache
+	// PlanTicket is a handle on one asynchronous PlanCache request:
+	// Wait blocks for the coalesced search, Publish makes the settled
+	// result visible to warm-seed and settled-read surfaces.
+	PlanTicket = orchestrator.PlanTicket
 	// PlanStore is the durable key-value seam a persistent PlanCache
 	// sits on: atomic last-write-wins puts, and corrupt or torn
 	// entries read as misses, never as payloads.

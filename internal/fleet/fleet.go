@@ -91,6 +91,17 @@ type Config struct {
 	// mean GOMAXPROCS. Results and traces are byte-identical at any
 	// value.
 	Workers int
+	// Planners selects the admission mode. 0 (the default) keeps
+	// admission inline: the head's cold §4.3 search runs synchronously
+	// and stalls the round. Values > 0 pipeline admission: the lease is
+	// reserved immediately, the search runs on a background planner
+	// pool of that size (misses batch into shared sample-bounded
+	// waves), running tenants keep stepping, and the plan lands at a
+	// deterministic round from the costed planning-latency model.
+	// SequentialPlanners (-1) runs the same pipelined admission logic
+	// with synchronous searches — the reference mode whose results and
+	// traces every pool size must reproduce byte-identically.
+	Planners int
 	// Trace enables per-job Chrome-trace timelines and the merged
 	// fleet timeline on the Result.
 	Trace bool
@@ -99,6 +110,12 @@ type Config struct {
 	// watch. It must not mutate anything.
 	OnRound func(RoundInfo)
 }
+
+// SequentialPlanners is the Config.Planners reference mode: pipelined
+// admission semantics (reservations, landing rounds, coalescing) with
+// every search executed synchronously at its enqueue point. Planner
+// pools of any size must reproduce this mode's results byte for byte.
+const SequentialPlanners = -1
 
 // RoundInfo is one round's lease-table snapshot.
 type RoundInfo struct {
@@ -168,6 +185,13 @@ type Result struct {
 	// cache is persistent (Config.PlanCacheDir or a persistent
 	// Config.Cache).
 	PlanWarmHits, PlanWarmSeeds, PlanPruned int64
+	// PlanCoalesced counts async plan requests that joined an in-flight
+	// search instead of starting one (herds of near-identical
+	// admissions collapse here); PlanOverlapRounds counts rounds where
+	// at least one background search overlapped at least one training
+	// step. Both zero unless Config.Planners is non-zero.
+	PlanCoalesced     int64
+	PlanOverlapRounds int
 	// Trace is the merged fleet timeline (per-job lanes PID-offset
 	// into disjoint blocks, scheduler lane last); nil unless
 	// Config.Trace.
@@ -182,6 +206,9 @@ const (
 	stateQueued = iota
 	stateRunning
 	stateDone
+	// statePlanning: lease reserved, §4.3 search in flight, plan lands
+	// at tenant.landing. Pipelined admission modes only.
+	statePlanning
 )
 
 type tenant struct {
@@ -211,6 +238,21 @@ type tenant struct {
 	strategy string
 	state    int
 	stepErr  error
+
+	// Pipelined admission state: the in-flight plan claim, its cache
+	// fingerprint, and the deterministic round the plan lands (-1 when
+	// none is pending).
+	ticket  *orchestrator.PlanTicket
+	planFp  string
+	landing int
+
+	// Incrementally maintained scheduler snapshot: valid while viewOK,
+	// invalidated by dirtyView at every key mutation. Schedulers must
+	// treat JobView.Nodes as read-only (the built-ins copy before
+	// mutating) — the slice is shared across reads until the next
+	// invalidation.
+	view   JobView
+	viewOK bool
 }
 
 // runner is one fleet run's mutable state.
@@ -242,9 +284,33 @@ type runner struct {
 	// head preserves it), so admit's per-pass stable re-sort — the
 	// identity on a sorted queue — is skipped entirely.
 	queueDirty bool
-	views      map[*tenant]JobView // sortQueue scratch, reused across sorts
-	runBuf     []*tenant           // running() scratch, reused across rounds
+	runBuf     []*tenant // running() scratch, reused across rounds
+
+	// Pipelined admission: in-flight plan waves keyed by fingerprint,
+	// plus the same waves in enqueue order (landing processing must be
+	// deterministic). overlapRounds counts rounds where background
+	// planning overlapped training.
+	pending       map[string]*pendingPlan
+	pendList      []*pendingPlan
+	overlapRounds int
 }
+
+// pendingPlan is one in-flight async search the runner is tracking: it
+// publishes (becomes visible to warm seeds and settled-plan reads) at
+// its landing round, whether or not a tenant still waits on it.
+type pendingPlan struct {
+	fp      string
+	ticket  *orchestrator.PlanTicket
+	landing int
+}
+
+// pipelined reports whether admission reserves leases and defers plans
+// (Planners != 0) rather than searching inline.
+func (f *runner) pipelined() bool { return f.cfg.Planners != 0 }
+
+// dirtyView invalidates a tenant's cached scheduler snapshot; every
+// mutation of a JobView key (state, lease, waited, started) calls it.
+func (f *runner) dirtyView(t *tenant) { t.viewOK = false }
 
 // Run executes the fleet to completion: every submitted (and
 // scenario-arrived) job is admitted, run, resized and finalised under
@@ -343,11 +409,23 @@ func Run(cfg Config) (*Result, error) {
 	if cache == nil {
 		cache = orchestrator.NewPlanCache(cfg.Search)
 	}
+	if cfg.Planners < SequentialPlanners {
+		return nil, fmt.Errorf("fleet: Planners %d invalid (0 inline, N > 0 pooled, -1 sequential reference)", cfg.Planners)
+	}
+	if cfg.Planners > 0 {
+		if err := cache.StartPlanners(cfg.Planners); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		// Idempotent safety net; the explicit stop below runs first so
+		// counter deltas read a quiesced pool.
+		defer cache.StopPlanners()
+	}
 	f := &runner{
 		cfg: cfg, sched: sched, shaped: shaped, classes: classes,
 		ctx:   context.Background(),
 		table: NewLeaseTable(cfg.Cluster.Nodes),
 		cache: cache, events: events,
+		pending: map[string]*pendingPlan{},
 	}
 	if cfg.Trace {
 		f.fleetTrace = metrics.NewTrace()
@@ -359,6 +437,7 @@ func Run(cfg Config) (*Result, error) {
 	defer f.stopPreprocess()
 	baseSearches, baseHits := cache.Searches(), cache.Hits()
 	baseWarmHits, baseWarmSeeds, basePruned := cache.WarmHits(), cache.WarmSeeds(), cache.Pruned()
+	baseCoalesced := cache.Coalesced()
 
 	lastRound := 0
 	for _, js := range cfg.Jobs {
@@ -374,12 +453,17 @@ func Run(cfg Config) (*Result, error) {
 
 	for f.round = 0; ; f.round++ {
 		f.admitted, f.retired = 0, 0
+		// Plans whose deterministic landing round arrived commit first:
+		// the tenants they admit join this round's scheduling exactly
+		// like the legacy inline path would have admitted them.
+		f.landPlans()
 		// Queue aging: tenants still queued from earlier rounds have
 		// waited one more full round (this round's arrivals start at 0).
 		// Waited is an Order key (aging promotion), so aging dirties the
 		// queue order.
 		for _, t := range f.queue {
 			t.waited++
+			f.dirtyView(t)
 			f.queueDirty = true
 		}
 		f.enqueueArrivals()
@@ -389,9 +473,12 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.OnRound != nil {
 			cfg.OnRound(f.roundInfo())
 		}
+		if f.pipelined() && f.planningCount() > 0 && f.runningCount() > 0 {
+			f.overlapRounds++
+		}
 		f.stepRunning()
 		f.completeFinished()
-		if f.round >= lastRound && f.runningCount() == 0 {
+		if f.round >= lastRound && f.runningCount() == 0 && f.planningCount() == 0 {
 			if len(f.queue) == 0 {
 				break
 			}
@@ -405,13 +492,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Resolve leftover speculative waves (publishing them warms a
+	// shared cache for the next run), then quiesce the pool so the
+	// counter deltas below are final.
+	f.drainPending()
+	if cfg.Planners > 0 {
+		cache.StopPlanners()
+	}
+
 	res := &Result{
-		Rounds:        f.round + 1,
-		PlanSearches:  cache.Searches() - baseSearches,
-		PlanHits:      cache.Hits() - baseHits,
-		PlanWarmHits:  cache.WarmHits() - baseWarmHits,
-		PlanWarmSeeds: cache.WarmSeeds() - baseWarmSeeds,
-		PlanPruned:    cache.Pruned() - basePruned,
+		Rounds:            f.round + 1,
+		PlanSearches:      cache.Searches() - baseSearches,
+		PlanHits:          cache.Hits() - baseHits,
+		PlanWarmHits:      cache.WarmHits() - baseWarmHits,
+		PlanWarmSeeds:     cache.WarmSeeds() - baseWarmSeeds,
+		PlanPruned:        cache.Pruned() - basePruned,
+		PlanCoalesced:     cache.Coalesced() - baseCoalesced,
+		PlanOverlapRounds: f.overlapRounds,
 	}
 	for _, t := range f.tenants {
 		res.Jobs = append(res.Jobs, JobResult{
@@ -477,7 +574,7 @@ func (f *runner) note(name string, args map[string]any) {
 // arrivalKind reports whether a fleet-scope event kind instantiates
 // new tenants from a job spec.
 func arrivalKind(k scenario.Kind) bool {
-	return k == scenario.JobArrive || k == scenario.PriorityArrive || k == scenario.PreemptStorm
+	return k == scenario.JobArrive || k == scenario.PriorityArrive || k == scenario.PreemptStorm || k == scenario.Herd
 }
 
 // newTenant submits one instance of job spec si to the queue, at the
@@ -496,7 +593,7 @@ func (f *runner) newTenant(si int, class Class) {
 		min:   js.MinNodes, max: js.MaxNodes,
 		class:   f.classes[si],
 		arrived: f.round, started: -1, finished: -1,
-		state: stateQueued,
+		state: stateQueued, landing: -1,
 	}
 	if class != "" {
 		t.class = class
@@ -509,7 +606,7 @@ func (f *runner) newTenant(si int, class Class) {
 
 // enqueueArrivals submits this round's arrivals: Config.Jobs entries
 // first (in index order), then scenario arrival events — job-arrive,
-// priority-arrive, preempt-storm — in schedule order.
+// priority-arrive, preempt-storm, herd — in schedule order.
 func (f *runner) enqueueArrivals() {
 	for i, js := range f.cfg.Jobs {
 		if js.Arrive == f.round {
@@ -533,6 +630,12 @@ func (f *runner) enqueueArrivals() {
 		case scenario.PreemptStorm:
 			for k := 0; k < ev.Count; k++ {
 				f.newTenant(ev.Job, Class(ev.Class))
+			}
+		case scenario.Herd:
+			// K near-identical tenants, same round, same plan
+			// fingerprint: the coalescing admission burst.
+			for k := 0; k < ev.Count; k++ {
+				f.newTenant(ev.Job, "")
 			}
 		}
 	}
@@ -581,6 +684,23 @@ func (f *runner) failNode(node int) {
 		return
 	}
 	t := f.tenants[owner]
+	if t.state == statePlanning {
+		// The reservation is void before its plan ever landed: requeue
+		// the tenant (it will re-reserve at whatever capacity remains).
+		// Its in-flight search stays pending and still publishes at its
+		// landing round — the shape may serve someone else.
+		f.table.Release(t.id)
+		t.lease = cluster.Lease{}
+		t.state = stateQueued
+		t.waited = 0
+		t.landing = -1
+		t.ticket = nil
+		t.planFp = ""
+		f.dirtyView(t)
+		f.requeueFront(t)
+		f.note("job-suspend", map[string]any{"job": t.id})
+		return
+	}
 	shrunk := t.lease.Without(node)
 	if shrunk.NodeCount() >= t.min {
 		if plan, perr := f.planFor(t, shrunk); perr == nil {
@@ -589,6 +709,7 @@ func (f *runner) failNode(node int) {
 				t.lease = shrunk
 				t.plan = plan
 				t.resizes++
+				f.dirtyView(t)
 				f.resizeQuota(t, shrunk.NodeCount())
 				f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
 				return
@@ -603,6 +724,7 @@ func (f *runner) failNode(node int) {
 	t.lease = cluster.Lease{}
 	t.state = stateQueued
 	t.waited = 0
+	f.dirtyView(t)
 	// A suspended tenant holds no nodes, so it earns no admission
 	// quota either; resumption re-grants it with the new lease.
 	f.resizeQuota(t, 0)
@@ -655,15 +777,16 @@ func (f *runner) retire(t *tenant, departed bool) {
 	t.state = stateDone
 	t.finished = f.round
 	t.departed = departed
+	t.ticket = nil
+	t.planFp = ""
+	t.landing = -1
+	f.dirtyView(t)
 	f.retired++
 }
 
-// planFor asks the shared cache for the tenant's plan at a lease
-// size. All instances of a template share the template's spec (same
-// profiler pointer, same model and batch geometry), so equal lease
-// sizes fingerprint identically — K identical tenants pay for one
-// §4.3 search and K-1 cache hits.
-func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error) {
+// leaseSpec scopes the tenant's training spec to a lease — the exact
+// spec the plan cache keys on for that lease.
+func (f *runner) leaseSpec(t *tenant, l cluster.Lease) orchestrator.Spec {
 	spec := t.cfg.Spec
 	if f.shaped {
 		// Placement-scoring schedulers price the lease's concrete
@@ -675,15 +798,48 @@ func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error)
 		spec.Cluster = l.Subcluster(f.cfg.Cluster)
 	}
 	spec.MaxGPUs = 0
+	return spec
+}
+
+// planFor asks the shared cache for the tenant's plan at a lease
+// size. All instances of a template share the template's spec (same
+// profiler pointer, same model and batch geometry), so equal lease
+// sizes fingerprint identically — K identical tenants pay for one
+// §4.3 search and K-1 cache hits. In pipelined modes a shape already
+// in flight on the planner pool is consumed (and published) here —
+// this call site is a deterministic decision point, so an early
+// publish keeps pool sizes byte-identical.
+func (f *runner) planFor(t *tenant, l cluster.Lease) (*orchestrator.Plan, error) {
+	spec := f.leaseSpec(t, l)
+	if f.pipelined() {
+		fp := f.cache.Fingerprint(spec)
+		if pe, ok := f.pending[fp]; ok {
+			_, _ = pe.ticket.Wait(f.ctx) // outcome served via the cache below
+			pe.ticket.Publish()
+			f.removePending(fp)
+		}
+	}
 	return f.cache.Plan(f.ctx, spec)
+}
+
+// removePending drops a resolved wave from both pending structures.
+func (f *runner) removePending(fp string) {
+	delete(f.pending, fp)
+	for i, pe := range f.pendList {
+		if pe.fp == fp {
+			f.pendList = append(f.pendList[:i], f.pendList[i+1:]...)
+			return
+		}
+	}
 }
 
 // sortQueue orders the admission queue by the scheduler's Order
 // (stable, so always-false comparators keep strict submission order).
 // No-op while queueDirty is clear: removals keep a sorted queue
 // sorted, so only key mutations (arrivals, requeues, preemptions,
-// aging) force a re-sort. The view snapshots live in a reused map so
-// steady-state rounds sort without allocating.
+// aging) force a re-sort. The comparator reads the incrementally
+// maintained per-tenant views, so steady-state sorts neither rebuild
+// snapshots nor allocate.
 func (f *runner) sortQueue() {
 	if !f.queueDirty {
 		return
@@ -692,16 +848,8 @@ func (f *runner) sortQueue() {
 	if len(f.queue) < 2 {
 		return
 	}
-	if f.views == nil {
-		f.views = make(map[*tenant]JobView, len(f.queue))
-	} else {
-		clear(f.views)
-	}
-	for _, t := range f.queue {
-		f.views[t] = f.view(t)
-	}
 	sort.SliceStable(f.queue, func(i, j int) bool {
-		return f.sched.Order(f.views[f.queue[i]], f.views[f.queue[j]])
+		return f.sched.Order(f.view(f.queue[i]), f.view(f.queue[j]))
 	})
 }
 
@@ -715,15 +863,20 @@ func (f *runner) admit() {
 		f.sortQueue()
 		t := f.queue[0]
 		ops := schedOps{f}
-		grant := f.sched.GrantSize(ops, f.view(t))
+		// One view serves the whole attempt: MakeRoom mutates other
+		// tenants, never the head, so only a paranoid refresh after it
+		// is needed — not a rebuild per scheduler call.
+		v := f.view(t)
+		grant := f.sched.GrantSize(ops, v)
 		if grant < t.min {
-			f.sched.MakeRoom(ops, f.view(t))
-			grant = f.sched.GrantSize(ops, f.view(t))
+			f.sched.MakeRoom(ops, v)
+			v = f.view(t)
+			grant = f.sched.GrantSize(ops, v)
 		}
 		if grant < t.min {
 			return // the head blocks the queue
 		}
-		nodes := f.sched.PlaceNodes(ops, f.view(t), grant)
+		nodes := f.sched.PlaceNodes(ops, v, grant)
 		lease := cluster.NewLease(nodes...)
 		if err := f.checkPlacement(lease, grant); err != nil {
 			// A scheduler returning an invalid placement is a bug in
@@ -736,14 +889,20 @@ func (f *runner) admit() {
 			f.note("job-rejected", map[string]any{"job": t.id, "reason": err.Error()})
 			continue
 		}
-		if err := f.place(t, lease); err != nil {
+		admitErr := error(nil)
+		if f.pipelined() {
+			admitErr = f.reserve(t, lease)
+		} else {
+			admitErr = f.place(t, lease)
+		}
+		if admitErr != nil {
 			// Unplannable at its granted size (model too big for
 			// MinNodes, degenerate batch geometry): the job can never
 			// run — fail it and keep the queue moving.
 			f.queue = f.queue[1:]
-			t.err = err
+			t.err = admitErr
 			f.retire(t, false)
-			f.note("job-rejected", map[string]any{"job": t.id, "reason": err.Error()})
+			f.note("job-rejected", map[string]any{"job": t.id, "reason": admitErr.Error()})
 			continue
 		}
 		f.queue = f.queue[1:]
@@ -770,13 +929,25 @@ func (f *runner) checkPlacement(l cluster.Lease, grant int) error {
 	return nil
 }
 
-// place grants the lease: a fresh tenant builds its runtime and Job, a
-// suspended one resumes through a costed lease resize.
+// place grants the lease inline (legacy admission): plan, acquire,
+// commit — the admission round pays the whole search.
 func (f *runner) place(t *tenant, lease cluster.Lease) error {
 	plan, err := f.planFor(t, lease)
 	if err != nil {
 		return err
 	}
+	if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
+		return err
+	}
+	return f.finishPlacement(t, lease, plan)
+}
+
+// finishPlacement commits an already-acquired lease with its landed
+// plan: a fresh tenant builds its runtime and Job, a suspended one
+// resumes through a costed lease resize. Errors leave the lease to
+// the caller's retire path (retire releases whatever the tenant
+// holds).
+func (f *runner) finishPlacement(t *tenant, lease cluster.Lease, plan *orchestrator.Plan) error {
 	if t.rt == nil {
 		tcfg := t.cfg
 		l := lease
@@ -816,18 +987,187 @@ func (f *runner) place(t *tenant, lease cluster.Lease) error {
 		t.resizes++
 		f.resizeQuota(t, lease.NodeCount())
 	}
-	if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
-		return err
-	}
 	t.lease = lease
 	t.plan = plan
 	t.state = stateRunning
 	t.waited = 0
+	t.ticket = nil
+	t.planFp = ""
+	t.landing = -1
 	if t.started < 0 {
 		t.started = f.round
 	}
+	f.dirtyView(t)
 	f.note("job-start", map[string]any{"job": t.id, "nodes": lease.NodeCount(), "strategy": plan.Strategy})
 	return nil
+}
+
+// reserve is pipelined admission: the scheduler's grant is locked in
+// immediately (the lease leaves the free pool), but the plan is only
+// requested, not awaited. A shape already in flight coalesces onto
+// its wave and shares its landing round; an already-visible plan
+// places inline this round — warm admissions stay as fast as the
+// legacy path; a true miss enqueues on the planner pool and lands at
+// a round from the costed latency model, never from wall clock.
+func (f *runner) reserve(t *tenant, lease cluster.Lease) error {
+	spec := f.leaseSpec(t, lease)
+	fp := f.cache.Fingerprint(spec)
+	if pe, ok := f.pending[fp]; ok {
+		ticket := f.cache.PlanAsync(f.ctx, spec)
+		if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
+			return err
+		}
+		t.lease = lease
+		t.ticket = ticket
+		t.planFp = fp
+		t.landing = pe.landing
+		t.state = statePlanning
+		f.dirtyView(t)
+		f.note("job-plan", map[string]any{"job": t.id, "nodes": lease.NodeCount(), "landing": pe.landing})
+		return nil
+	}
+	if plan, ok, err := f.cache.PlanIfSettled(spec); ok {
+		if err != nil {
+			return err
+		}
+		if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
+			return err
+		}
+		if err := f.finishPlacement(t, lease, plan); err != nil {
+			return err
+		}
+		f.speculate(t)
+		return nil
+	}
+	ticket := f.cache.PlanAsync(f.ctx, spec)
+	landing := f.round + planLatency(spec, ticket.Seeded())
+	pe := &pendingPlan{fp: fp, ticket: ticket, landing: landing}
+	f.pending[fp] = pe
+	f.pendList = append(f.pendList, pe)
+	if err := f.table.Acquire(t.id, lease.Nodes); err != nil {
+		return err
+	}
+	t.lease = lease
+	t.ticket = ticket
+	t.planFp = fp
+	t.landing = landing
+	t.state = statePlanning
+	f.dirtyView(t)
+	f.note("job-plan", map[string]any{"job": t.id, "nodes": lease.NodeCount(), "landing": landing})
+	return nil
+}
+
+// planCandidatesPerRound calibrates the costed planning-latency
+// model: a cold search lands ceil(candidates/planCandidatesPerRound)
+// rounds after its reservation; a warm-seeded one lands the next
+// round. A pure cost model — landing rounds depend only on the spec,
+// never on how fast the pool physically ran.
+const planCandidatesPerRound = 256
+
+func planLatency(spec orchestrator.Spec, seeded bool) int {
+	if seeded {
+		return 1
+	}
+	rounds := (orchestrator.CandidateCount(spec) + planCandidatesPerRound - 1) / planCandidatesPerRound
+	if rounds < 1 {
+		rounds = 1
+	}
+	return rounds
+}
+
+// landPlans opens a pipelined round: waves whose landing round
+// arrived publish (entering the cache's warm-seed and settled-read
+// surfaces), then planning tenants whose landing round arrived commit
+// their reserved leases. Both walks are in deterministic order, so
+// every pool size lands identically.
+func (f *runner) landPlans() {
+	if !f.pipelined() {
+		return
+	}
+	keep := f.pendList[:0]
+	for _, pe := range f.pendList {
+		if pe.landing > f.round {
+			keep = append(keep, pe)
+			continue
+		}
+		_, _ = pe.ticket.Wait(f.ctx)
+		pe.ticket.Publish()
+		delete(f.pending, pe.fp)
+	}
+	f.pendList = keep
+	for _, t := range f.tenants {
+		if t.state != statePlanning || t.landing > f.round {
+			continue
+		}
+		plan, err := t.ticket.Wait(f.ctx)
+		if err == nil {
+			err = f.finishPlacement(t, t.lease, plan)
+		}
+		if err != nil {
+			t.err = err
+			f.retire(t, false)
+			f.note("job-rejected", map[string]any{"job": t.id, "reason": err.Error()})
+			continue
+		}
+		f.speculate(t)
+	}
+}
+
+// speculate pre-plans the tenant's neighbouring lease sizes — the
+// shapes Rebalance-driven grows/shrinks and failure resizes reach for
+// — so those searches overlap training instead of stalling the round
+// that needs them. Count-based policies only: a shaped placement is
+// unknowable before the grant. Only the lease size matters, so a
+// synthetic lease of the right count stands in for the real one.
+func (f *runner) speculate(t *tenant) {
+	if !f.pipelined() || f.shaped {
+		return
+	}
+	n := t.lease.NodeCount()
+	for _, target := range []int{n - 1, n + 1} {
+		if target == n || target < 1 || target < t.min || target > t.max {
+			continue
+		}
+		nodes := make([]int, target)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		spec := f.leaseSpec(t, cluster.NewLease(nodes...))
+		fp := f.cache.Fingerprint(spec)
+		if _, ok := f.pending[fp]; ok {
+			continue
+		}
+		if f.cache.Settled(spec) {
+			continue
+		}
+		ticket := f.cache.PlanAsync(f.ctx, spec)
+		pe := &pendingPlan{fp: fp, ticket: ticket, landing: f.round + planLatency(spec, ticket.Seeded())}
+		f.pending[fp] = pe
+		f.pendList = append(f.pendList, pe)
+		f.note("plan-ahead", map[string]any{"job": t.id, "nodes": target, "landing": pe.landing})
+	}
+}
+
+// drainPending resolves every wave still pending at run end —
+// publishing warms a shared cache for the next run.
+func (f *runner) drainPending() {
+	for _, pe := range f.pendList {
+		_, _ = pe.ticket.Wait(f.ctx)
+		pe.ticket.Publish()
+		delete(f.pending, pe.fp)
+	}
+	f.pendList = nil
+}
+
+// planningCount counts tenants parked in statePlanning.
+func (f *runner) planningCount() int {
+	n := 0
+	for _, t := range f.tenants {
+		if t.state == statePlanning {
+			n++
+		}
+	}
+	return n
 }
 
 // running returns the running tenants in submission order. The

@@ -4,8 +4,15 @@ import (
 	"disttrain/internal/cluster"
 )
 
-// view snapshots a tenant for a scheduler.
+// view returns the tenant's scheduler snapshot, rebuilding it only
+// when a key mutation invalidated the cached copy (dirtyView). The
+// Nodes slice is shared across reads until the next invalidation;
+// schedulers treat it as read-only (the built-ins copy before
+// mutating).
 func (f *runner) view(t *tenant) JobView {
+	if t.viewOK {
+		return t.view
+	}
 	v := JobView{
 		ID: t.id, Name: t.name, Priority: t.class,
 		Min: t.min, Max: t.max,
@@ -16,6 +23,8 @@ func (f *runner) view(t *tenant) JobView {
 	if t.state == stateRunning {
 		v.Nodes = append([]int(nil), t.lease.Nodes...)
 	}
+	t.view = v
+	t.viewOK = true
 	return v
 }
 
@@ -97,8 +106,10 @@ func (o schedOps) Shrink(id int, drop []int, reason string) bool {
 	t.lease = shrunk
 	t.plan = plan
 	t.resizes++
+	f.dirtyView(t)
 	f.resizeQuota(t, shrunk.NodeCount())
 	f.note("lease-shrink", map[string]any{"job": t.id, "nodes": shrunk.NodeCount()})
+	f.speculate(t)
 	return true
 }
 
@@ -134,8 +145,10 @@ func (o schedOps) Grow(id int, take []int, reason string) bool {
 	t.lease = grown
 	t.plan = plan
 	t.resizes++
+	f.dirtyView(t)
 	f.resizeQuota(t, grown.NodeCount())
 	f.note("lease-grow", map[string]any{"job": t.id, "nodes": grown.NodeCount()})
+	f.speculate(t)
 	return true
 }
 
@@ -155,6 +168,7 @@ func (o schedOps) Preempt(id int, reason string) bool {
 	t.state = stateQueued
 	t.waited = 0
 	t.preempts++
+	f.dirtyView(t)
 	f.resizeQuota(t, 0)
 	f.queue = append(f.queue, t)
 	f.queueDirty = true

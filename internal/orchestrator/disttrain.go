@@ -230,10 +230,43 @@ func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCa
 	// skipping it cannot change the selected plan.
 	if !math.IsInf(bound, 1) {
 		sumLower := lower[0] + lower[1] + lower[2]
-		lb := objective(
-			float64(n)-(sumLower-lower[0]),
-			float64(n)-(sumLower-lower[1]),
-			float64(n)-(sumLower-lower[2]))
+		ux := float64(n) - (sumLower - lower[0])
+		uy := float64(n) - (sumLower - lower[1])
+		uz := float64(n) - (sumLower - lower[2])
+		lb := objective(ux, uy, uz)
+		// Mediant bound on the steady phase: any split of at most n GPUs
+		// has max_i(w_i/a_i) >= (w_x+w_y+w_z)/n (the max of ratios is at
+		// least their combined ratio), and warmup is decreasing in (x, z),
+		// so this second lower bound holds too — and is tighter than the
+		// corner bound whenever the three weights are balanced.
+		if alt := warmup(ux, uz) + (weights[0]+weights[1]+weights[2])/float64(n)*float64(k-1); alt > lb {
+			lb = alt
+		}
+		if alt := dualBound(weights, m*cLM/float64(s.vpp()), float64(n), float64(k-1)); alt > lb {
+			lb = alt
+		}
+		// Integer-aware corner: the final allocation is built from unit
+		// granules (x a multiple of wME, z of wMG, y = TP·DP·pp with pp a
+		// divisor of the layer count ≥ ppFloor), so each axis caps at the
+		// largest *constructible* value under the budget, not the
+		// continuous corner. On small leases the granularity gap dwarfs
+		// the continuous one, and these caps are where the spread shows.
+		layers := s.Model.Backbone.Layers
+		minPP := smallestDivisorAtLeast(layers, ppFloor)
+		maxPP := largestDivisorBetween(layers, ppFloor, (n-wME-wMG)/(tpLM*dpLM))
+		if minPP == 0 || maxPP == 0 {
+			return nil, ErrCandidatePruned // no pp can divide the layers: unbuildable
+		}
+		minY := tpLM * dpLM * minPP
+		xCap := (n - minY - wMG) / wME * wME
+		zCap := (n - minY - wME) / wMG * wMG
+		if xCap < wME || zCap < wMG {
+			return nil, ErrCandidatePruned // no room for a single modality unit
+		}
+		yCap := tpLM * dpLM * maxPP
+		if alt := objective(float64(xCap), float64(yCap), float64(zCap)); alt > lb {
+			lb = alt
+		}
 		if lb > bound*selectBand*(1+pruneSlack) {
 			return nil, ErrCandidatePruned
 		}
@@ -242,9 +275,23 @@ func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCa
 	// Stage 1: exact water-filling on the steady term gives the optimum
 	// of the dominant component.
 	wf := solve.WaterFillProblem{Weights: weights, Lower: lower, Budget: float64(n)}
-	xs, _, err := wf.Solve()
+	xs, steadyOpt, err := wf.Solve()
 	if err != nil {
 		return nil, err
+	}
+	// Second prune, after the cheap water-fill but before the expensive
+	// golden-section refine: steadyOpt is the exact continuous minimum of
+	// the steady term (KKT water level), so warmup(corner) + (k−1)·steadyOpt
+	// lower-bounds the continuous optimum — and hence the rounded integer
+	// time — more tightly than the mediant whenever a lower bound binds
+	// (typically the backbone's memory floor).
+	if !math.IsInf(bound, 1) {
+		sumLower := lower[0] + lower[1] + lower[2]
+		ux := float64(n) - (sumLower - lower[0])
+		uz := float64(n) - (sumLower - lower[2])
+		if lb := warmup(ux, uz) + steadyOpt*float64(k-1); lb > bound*selectBand*(1+pruneSlack) {
+			return nil, ErrCandidatePruned
+		}
 	}
 	// Stage 2: 2-D golden-section refinement of the full convex
 	// objective (warm-up shifts the optimum slightly toward the
@@ -282,6 +329,51 @@ func solveSubproblem(s Spec, c Candidate, n int, replicate bool, floors *floorCa
 		return nil, err
 	}
 	return plan, nil
+}
+
+// dualBound lower-bounds the candidate's continuous optimum without
+// touching its lower bounds: for any simplex weights (λ, μ, ν), the
+// steady max dominates the convex combination λ·w0/x + μ·w1/y + ν·w2/z,
+// so with kk = k−1 and the warm-up sharing the same per-GPU
+// coefficients (warmup = base + w0/x + w2/z),
+//
+//	objective ≥ base + (w0 + λ·kk·w0)/x + μ·kk·w1/y + (w2 + ν·kk·w2)/z
+//
+// and minimising P/x + Q/y + R/z over x+y+z ≤ n has the closed form
+// (√P + √Q + √R)²/n. The bound is maximised over the simplex by KKT —
+// P, Q, R must share a common c with P = c·(kk·w0)², etc. — clamping λ
+// or ν to zero when the unconstrained stationary point leaves the
+// simplex. Tight whenever the candidate's memory floors don't bind,
+// which is exactly where the corner and water-fill bounds are loose.
+func dualBound(weights []float64, base, n, kk float64) float64 {
+	w0, w1, w2 := weights[0], weights[1], weights[2]
+	if kk <= 0 {
+		r := math.Sqrt(w0) + math.Sqrt(w2)
+		return base + r*r/n
+	}
+	lam := 0.0
+	nu := 0.0
+	c := (1 + 2/kk) / (kk * (w0 + w1 + w2))
+	lam = c*kk*w0 - 1/kk
+	nu = c*kk*w2 - 1/kk
+	if lam < 0 && nu < 0 {
+		lam, nu = 0, 0
+	} else if lam < 0 {
+		lam = 0
+		nu = (1+1/kk)/(kk*(w1+w2))*kk*w2 - 1/kk
+		if nu < 0 {
+			nu = 0
+		}
+	} else if nu < 0 {
+		nu = 0
+		lam = (1+1/kk)/(kk*(w0+w1))*kk*w0 - 1/kk
+		if lam < 0 {
+			lam = 0
+		}
+	}
+	mu := 1 - lam - nu
+	r := math.Sqrt(w0*(1+lam*kk)) + math.Sqrt(mu*kk*w1) + math.Sqrt(w2*(1+nu*kk))
+	return base + r*r/n
 }
 
 // refine performs nested golden-section over (x, z) with y = budget -
@@ -322,6 +414,32 @@ func refine(objective func(x, y, z float64) float64, seed, lower []float64, budg
 
 // snapPPToLayers rounds pp down to the nearest divisor of layers that
 // is at least floor; returns 0 when impossible.
+// smallestDivisorAtLeast returns the smallest divisor of layers that
+// is >= floor, or 0 if none exists.
+func smallestDivisorAtLeast(layers, floor int) int {
+	for d := 1; d <= layers; d++ {
+		if layers%d == 0 && d >= floor {
+			return d
+		}
+	}
+	return 0
+}
+
+// largestDivisorBetween returns the largest divisor of layers in
+// [floor, cap], or 0 if none exists. Unlike snapPPToLayers it never
+// snaps above cap: callers use it to bound what a budget can build.
+func largestDivisorBetween(layers, floor, cap int) int {
+	if cap > layers {
+		cap = layers
+	}
+	for d := cap; d >= floor && d >= 1; d-- {
+		if layers%d == 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 func snapPPToLayers(pp, layers, floor int) int {
 	if pp > layers {
 		pp = layers

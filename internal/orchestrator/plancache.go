@@ -33,6 +33,16 @@ import (
 // family): the incumbent's strategy is evaluated first and its known
 // iteration time prunes the rest of the enumeration, without ever
 // changing the chosen plan.
+//
+// Beyond the synchronous Plan, the cache exposes an asynchronous tier
+// for pipelined admission: PlanAsync enqueues a miss onto a bounded
+// planner pool (StartPlanners) and returns a PlanTicket immediately.
+// Misses enqueued while a wave is in flight batch into the next wave
+// and share one sample-bounded PlanMany call; same-fingerprint
+// requests coalesce onto one ticket. Async results stay invisible to
+// warm-seed lookups and PlanIfSettled until the caller Publishes the
+// ticket — the fleet publishes at deterministic landing rounds, so
+// cache visibility never depends on wall clock.
 type PlanCache struct {
 	opts  SearchOptions
 	store store.Store // nil for a purely in-memory cache
@@ -40,33 +50,75 @@ type PlanCache struct {
 	mu      sync.Mutex
 	entries map[string]*planEntry
 
+	// Planner pool: a single dispatcher goroutine drains queue in
+	// waves; poolN > 0 while started.
+	poolMu   sync.Mutex
+	poolCond *sync.Cond
+	poolN    int
+	poolStop bool
+	poolDone chan struct{}
+	queue    []planReq
+
 	// loopHook, when non-nil, observes each retry-loop iteration of
 	// Plan — a test seam for the eviction/retry path.
 	loopHook func()
 
 	searches  atomic.Int64
 	hits      atomic.Int64
+	coalesced atomic.Int64
 	warmHits  atomic.Int64
 	warmSeeds atomic.Int64
 	pruned    atomic.Int64
 	storeErrs atomic.Int64
 }
 
-// planEntry is one fingerprint's singleflight slot. ready flips after
-// once.Do completes, so warm-seed lookups can read settled entries
-// without blocking on in-flight searches.
+// Entry lifecycle: created running (claimed by its producer), settled
+// exactly once when the outcome lands. Synchronous entries publish at
+// settle; async entries stay unpublished — invisible to incumbent and
+// PlanIfSettled — until their ticket's Publish.
+const (
+	entryRunning = iota
+	entrySettled
+)
+
+// planEntry is one fingerprint's singleflight slot. done closes at
+// settle; plan/err are written before the close and are safe to read
+// after it. state and published are guarded by PlanCache.mu.
 type planEntry struct {
-	once  sync.Once
-	ready atomic.Bool
-	plan  *Plan
-	err   error
+	state     int
+	done      chan struct{}
+	plan      *Plan
+	err       error
+	published bool
+	async     bool
+	seed      *Candidate // captured at enqueue for async entries
+	seeded    bool
+}
+
+func newEntry(async bool) *planEntry {
+	return &planEntry{state: entryRunning, done: make(chan struct{}), async: async}
+}
+
+func settledEntry(plan *Plan, err error) *planEntry {
+	e := &planEntry{state: entrySettled, published: true, plan: plan, err: err, done: make(chan struct{})}
+	close(e.done)
+	return e
+}
+
+// planReq is one queued async miss awaiting the next planner wave.
+type planReq struct {
+	e    *planEntry
+	key  string
+	spec Spec
 }
 
 // NewPlanCache builds an empty in-memory cache; opts tunes every
 // search it runs (the chosen plans are independent of
 // opts.Parallelism).
 func NewPlanCache(opts SearchOptions) *PlanCache {
-	return &PlanCache{opts: opts, entries: make(map[string]*planEntry)}
+	c := &PlanCache{opts: opts, entries: make(map[string]*planEntry)}
+	c.poolCond = sync.NewCond(&c.poolMu)
+	return c
 }
 
 // NewPersistentPlanCache builds a cache written through to st:
@@ -107,6 +159,11 @@ func fingerprintSpec(s Spec) string {
 	return h.Sum()
 }
 
+// Fingerprint exposes the cache key for a spec, so callers building
+// their own coalescing structures (the fleet's pending-plan table) key
+// them identically to the cache.
+func (c *PlanCache) Fingerprint(s Spec) string { return fingerprintSpec(s) }
+
 // planEnvelope is the durable store's payload: a versioned JSON
 // wrapper so the format can evolve without poisoning old caches, with
 // the fingerprint inside as a self-check against misfiled entries.
@@ -142,35 +199,19 @@ func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
 		c.mu.Lock()
 		e, ok := c.entries[key]
 		if !ok {
-			e = &planEntry{}
+			e = newEntry(false)
 			c.entries[key] = e
 		}
 		c.mu.Unlock()
-		if ok && !counted {
-			c.hits.Add(1)
-			counted = true
+		if ok {
+			if !counted {
+				c.hits.Add(1)
+				counted = true
+			}
+			<-e.done
+		} else {
+			c.runSearch(ctx, e, key, s)
 		}
-		e.once.Do(func() {
-			defer e.ready.Store(true)
-			if plan, ok := c.loadStored(key); ok {
-				c.warmHits.Add(1)
-				e.plan = plan
-				return
-			}
-			c.searches.Add(1)
-			opts := c.opts
-			if seed := c.neighborSeed(s); seed != nil {
-				opts.Seed = seed
-				opts.Prune = true
-				c.warmSeeds.Add(1)
-			}
-			r := PlanMany(ctx, []Spec{s}, opts)[0]
-			e.plan, e.err = r.Plan, r.Err
-			c.pruned.Add(int64(r.Pruned))
-			if e.err == nil {
-				c.persist(key, e.plan)
-			}
-		})
 		if e.err == nil {
 			cp := *e.plan // Plan holds no reference types: a value copy is private
 			return &cp, nil
@@ -191,6 +232,330 @@ func (c *PlanCache) Plan(ctx context.Context, s Spec) (*Plan, error) {
 			return nil, e.err
 		}
 	}
+}
+
+// PlanTicket is a claim on an in-flight (or settled) async plan.
+// Wait blocks for the outcome; Publish makes a settled outcome
+// visible to warm-seed lookups and PlanIfSettled. The fleet publishes
+// only at deterministic landing rounds, so two runs with different
+// planner-pool sizes see identical cache states at every round.
+type PlanTicket struct {
+	c      *PlanCache
+	e      *planEntry
+	key    string
+	seeded bool
+}
+
+// Wait blocks until the plan settles (or ctx is done) and returns a
+// private copy of the outcome.
+func (t *PlanTicket) Wait(ctx context.Context) (*Plan, error) {
+	select {
+	case <-t.e.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if t.e.err != nil {
+		return nil, t.e.err
+	}
+	cp := *t.e.plan
+	return &cp, nil
+}
+
+// Publish marks a settled outcome visible to incumbent warm-seed
+// lookups and PlanIfSettled. Idempotent; a no-op before settle.
+func (t *PlanTicket) Publish() {
+	t.c.mu.Lock()
+	if t.e.state == entrySettled {
+		t.e.published = true
+	}
+	t.c.mu.Unlock()
+}
+
+// Seeded reports whether the underlying search was warm-seeded from a
+// neighbouring lease size — captured at enqueue, so it is identical
+// across planner-pool sizes and usable in costed latency models.
+func (t *PlanTicket) Seeded() bool { return t.seeded }
+
+// PlanAsync requests the plan for s without blocking. A published
+// settled fingerprint is a hit; an in-flight or unpublished one
+// coalesces onto the existing ticket; a true miss claims the entry,
+// captures its warm seed from the incumbents published so far, and
+// enqueues it for the next planner wave. Without a started planner
+// pool the search runs synchronously before returning (the
+// sequential-admission reference mode) — logically identical, only
+// the physical execution time differs.
+func (c *PlanCache) PlanAsync(ctx context.Context, s Spec) *PlanTicket {
+	key := fingerprintSpec(s)
+	if t := c.joinTicket(key); t != nil {
+		return t
+	}
+	// Seed capture happens here, at enqueue — not at execution — so the
+	// seed (and everything downstream: prune counts, Seeded latency
+	// costing) depends only on what was published before this call.
+	seed := c.neighborSeed(s)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		t := c.ticketLocked(e, key)
+		c.mu.Unlock()
+		return t
+	}
+	e = newEntry(true)
+	e.seed = seed
+	e.seeded = seed != nil
+	c.entries[key] = e
+	c.mu.Unlock()
+	if seed != nil {
+		c.warmSeeds.Add(1)
+	}
+	t := &PlanTicket{c: c, e: e, key: key, seeded: e.seeded}
+	if !c.enqueue(planReq{e: e, key: key, spec: s}) {
+		c.runSearch(ctx, e, key, s)
+	}
+	return t
+}
+
+// joinTicket returns a ticket onto an existing entry, or nil when the
+// fingerprint is unclaimed.
+func (c *PlanCache) joinTicket(key string) *PlanTicket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	return c.ticketLocked(e, key)
+}
+
+func (c *PlanCache) ticketLocked(e *planEntry, key string) *PlanTicket {
+	if e.state == entrySettled && e.published {
+		c.hits.Add(1)
+	} else {
+		c.coalesced.Add(1)
+	}
+	return &PlanTicket{c: c, e: e, key: key, seeded: e.seeded}
+}
+
+// PlanIfSettled returns the cached outcome for s only if it is already
+// settled and published — it never blocks and never starts a search.
+// ok reports whether an outcome was available; a cached infeasibility
+// error returns (nil, true, err). Context-cancelled entries are
+// evicted and read as misses, mirroring Plan's retry semantics.
+func (c *PlanCache) PlanIfSettled(s Spec) (plan *Plan, ok bool, err error) {
+	key := fingerprintSpec(s)
+	c.mu.Lock()
+	if e, found := c.entries[key]; found {
+		if e.state != entrySettled || !e.published {
+			c.mu.Unlock()
+			return nil, false, nil
+		}
+		if e.err != nil {
+			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+				delete(c.entries, key)
+				c.mu.Unlock()
+				return nil, false, nil
+			}
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return nil, true, e.err
+		}
+		cp := *e.plan
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return &cp, true, nil
+	}
+	c.mu.Unlock()
+	if stored, found := c.loadStored(key); found {
+		c.mu.Lock()
+		if _, raced := c.entries[key]; !raced {
+			c.entries[key] = settledEntry(stored, nil)
+		}
+		c.mu.Unlock()
+		c.warmHits.Add(1)
+		cp := *stored
+		return &cp, true, nil
+	}
+	return nil, false, nil
+}
+
+// Settled reports whether a plan (or cached error) for s is already
+// visible — published in memory, or present in the durable store —
+// without counting a hit or starting anything. Speculative pre-planners
+// use it to skip shapes that are already covered.
+func (c *PlanCache) Settled(s Spec) bool {
+	key := fingerprintSpec(s)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		settled := e.state == entrySettled && e.published
+		c.mu.Unlock()
+		return settled
+	}
+	c.mu.Unlock()
+	_, found := c.loadStored(key)
+	return found
+}
+
+// StartPlanners launches the async planner pool: a dispatcher that
+// drains queued misses in waves, running each wave as one batched
+// sample-bounded PlanMany over n candidate workers. Requests arriving
+// while a wave runs batch into the next wave. Errors if already
+// started.
+func (c *PlanCache) StartPlanners(n int) error {
+	if n < 1 {
+		return errors.New("orchestrator: planner pool size must be >= 1")
+	}
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.poolN != 0 {
+		return errors.New("orchestrator: planner pool already started")
+	}
+	c.poolN = n
+	c.poolStop = false
+	c.poolDone = make(chan struct{})
+	go c.dispatch()
+	return nil
+}
+
+// StopPlanners drains every queued request (their searches still run,
+// as one final wave) and stops the pool. Safe to call when no pool is
+// running.
+func (c *PlanCache) StopPlanners() {
+	c.poolMu.Lock()
+	if c.poolN == 0 {
+		c.poolMu.Unlock()
+		return
+	}
+	c.poolStop = true
+	done := c.poolDone
+	c.poolCond.Broadcast()
+	c.poolMu.Unlock()
+	<-done
+}
+
+// enqueue hands a request to the planner pool; false when no pool is
+// running (the caller searches synchronously instead).
+func (c *PlanCache) enqueue(r planReq) bool {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.poolN == 0 || c.poolStop {
+		return false
+	}
+	c.queue = append(c.queue, r)
+	c.poolCond.Signal()
+	return true
+}
+
+// dispatch is the pool's single dispatcher goroutine: it grabs the
+// entire queue as one wave, executes it, and repeats; on stop it
+// drains what remains before exiting.
+func (c *PlanCache) dispatch() {
+	c.poolMu.Lock()
+	for {
+		for len(c.queue) == 0 && !c.poolStop {
+			c.poolCond.Wait()
+		}
+		if len(c.queue) == 0 {
+			done := c.poolDone
+			c.poolN = 0
+			c.poolStop = false
+			c.poolMu.Unlock()
+			close(done)
+			return
+		}
+		wave := c.queue
+		c.queue = nil
+		n := c.poolN
+		c.poolMu.Unlock()
+		c.executeWave(wave, n)
+		c.poolMu.Lock()
+	}
+}
+
+// executeWave resolves one batch of async misses: store hits settle
+// immediately, the rest share a single sample-bounded PlanMany whose
+// per-spec bounds come from each spec's own deterministic sample (and
+// seed), so prune counts and plans are identical whether a spec runs
+// alone or batched. Results persist before they settle, and settle
+// before anyone can publish them.
+func (c *PlanCache) executeWave(wave []planReq, workers int) {
+	var live []planReq
+	var specs []Spec
+	var seeds []*Candidate
+	for _, r := range wave {
+		if plan, ok := c.loadStored(r.key); ok {
+			c.warmHits.Add(1)
+			r.e.plan = plan
+			c.settle(r.e)
+			continue
+		}
+		c.searches.Add(1)
+		live = append(live, r)
+		specs = append(specs, r.spec)
+		seeds = append(seeds, r.e.seed)
+	}
+	if len(live) == 0 {
+		return
+	}
+	opts := c.opts
+	opts.Parallelism = workers
+	opts.Seed = nil
+	opts.Seeds = seeds
+	opts.SampleBound = true
+	opts.Prune = false
+	rs := PlanMany(context.Background(), specs, opts)
+	for i, r := range live {
+		r.e.plan, r.e.err = rs[i].Plan, rs[i].Err
+		c.pruned.Add(int64(rs[i].Pruned))
+		if r.e.err == nil {
+			c.persist(r.key, r.e.plan)
+		}
+		c.settle(r.e)
+	}
+}
+
+// runSearch resolves one entry synchronously: the sync Plan path and
+// the poolless async reference mode. Async entries use the same
+// sample-bounded search (and enqueue-captured seed) the pool would,
+// so both modes count and prune identically.
+func (c *PlanCache) runSearch(ctx context.Context, e *planEntry, key string, s Spec) {
+	if plan, ok := c.loadStored(key); ok {
+		c.warmHits.Add(1)
+		e.plan = plan
+		c.settle(e)
+		return
+	}
+	c.searches.Add(1)
+	opts := c.opts
+	if e.async {
+		opts.Seed = e.seed
+		opts.SampleBound = true
+		opts.Prune = false
+	} else if seed := c.neighborSeed(s); seed != nil {
+		opts.Seed = seed
+		opts.Prune = true
+		c.warmSeeds.Add(1)
+	}
+	r := PlanMany(ctx, []Spec{s}, opts)[0]
+	e.plan, e.err = r.Plan, r.Err
+	c.pruned.Add(int64(r.Pruned))
+	if e.err == nil {
+		c.persist(key, e.plan)
+	}
+	c.settle(e)
+}
+
+// settle transitions an entry to settled and wakes its waiters. Sync
+// entries publish immediately; async entries wait for their ticket's
+// Publish.
+func (c *PlanCache) settle(e *planEntry) {
+	c.mu.Lock()
+	e.state = entrySettled
+	if !e.async {
+		e.published = true
+	}
+	c.mu.Unlock()
+	close(e.done)
 }
 
 // loadStored reads and decodes a durable entry. Any failure — store
@@ -263,15 +628,23 @@ func (c *PlanCache) neighborSeed(s Spec) *Candidate {
 	return nil
 }
 
-// incumbent returns a settled successful plan for key, from memory or
-// the durable store, without blocking on in-flight searches.
+// incumbent returns a settled, published, successful plan for key
+// without blocking on in-flight searches. When an in-memory entry
+// exists in any state it is authoritative — an unpublished async
+// result also lives in the durable store, and falling through to the
+// store would leak it ahead of its landing round.
 func (c *PlanCache) incumbent(key string) *Plan {
 	c.mu.Lock()
-	e := c.entries[key]
-	c.mu.Unlock()
-	if e != nil && e.ready.Load() && e.err == nil {
-		return e.plan
+	e, ok := c.entries[key]
+	if ok {
+		var p *Plan
+		if e.state == entrySettled && e.published && e.err == nil {
+			p = e.plan
+		}
+		c.mu.Unlock()
+		return p
 	}
+	c.mu.Unlock()
 	if plan, ok := c.loadStored(key); ok {
 		return plan
 	}
@@ -284,10 +657,15 @@ func (c *PlanCache) incumbent(key string) *Plan {
 func (c *PlanCache) Searches() int64 { return c.searches.Load() }
 func (c *PlanCache) Hits() int64     { return c.hits.Load() }
 
+// Coalesced counts PlanAsync calls that joined an in-flight (or
+// not-yet-published) search instead of starting one — the herd
+// collapse the async tier exists for.
+func (c *PlanCache) Coalesced() int64 { return c.coalesced.Load() }
+
 // WarmHits counts fingerprints served from the durable store with no
 // search; WarmSeeds counts searches seeded from a neighbouring size;
-// Pruned counts candidates those seeds' bounds skipped; StoreErrs
-// counts store failures the cache degraded around.
+// Pruned counts candidates those seeds' (or sample waves') bounds
+// skipped; StoreErrs counts store failures the cache degraded around.
 func (c *PlanCache) WarmHits() int64  { return c.warmHits.Load() }
 func (c *PlanCache) WarmSeeds() int64 { return c.warmSeeds.Load() }
 func (c *PlanCache) Pruned() int64    { return c.pruned.Load() }

@@ -166,9 +166,7 @@ func TestPlanCacheHitsCountedOncePerCall(t *testing.T) {
 	c := NewPlanCache(SearchOptions{})
 	key := fingerprintSpec(spec)
 	poison := func() {
-		e := &planEntry{}
-		e.once.Do(func() { e.err = context.Canceled })
-		e.ready.Store(true)
+		e := settledEntry(nil, context.Canceled)
 		c.mu.Lock()
 		c.entries[key] = e
 		c.mu.Unlock()

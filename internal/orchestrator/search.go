@@ -56,13 +56,48 @@ type SearchOptions struct {
 	// parallelism. A seed outside the spec's strategy set is ignored.
 	// Seeding never changes the chosen plan.
 	Seed *Candidate
+	// Seeds, when non-nil, gives PlanMany one seed per spec: Seeds[i]
+	// seeds specs[i] (nil entries stay unseeded), overriding Seed. The
+	// coalescing planner tier uses it to carry each fingerprint's own
+	// incumbent through one batched PlanMany call.
+	Seeds []*Candidate
 	// Prune enables branch-and-bound pruning against the seed's
 	// iteration time: subproblems whose convex lower bound provably
 	// exceeds every selectable time are skipped before the expensive
 	// water-fill. Conservative by construction — the returned plan is
 	// byte-identical to the unpruned search.
 	Prune bool
+	// SampleBound switches each spec to the two-phase sample-bounded
+	// search: phase 1 evaluates a deterministic stratified sample of the
+	// strategy set (every sampleStride-th candidate, plus the seed)
+	// without a bound; the fastest feasible sampled time then becomes a
+	// fixed branch-and-bound bound for phase 2 over the remaining
+	// candidates, pruning regardless of Prune. The bound is frozen at
+	// the phase barrier, so prune counts stay deterministic at any
+	// parallelism, and it is an achievable iteration time, so — exactly
+	// like a seed bound — no pruned candidate can be the fastest plan or
+	// enter selectPlan's tie-break band: the chosen plan is
+	// byte-identical to the unsampled search.
+	SampleBound bool
 }
+
+// seedFor resolves the seed for spec i: Seeds wins over Seed.
+func (o SearchOptions) seedFor(i int) *Candidate {
+	if o.Seeds != nil {
+		if i < len(o.Seeds) {
+			return o.Seeds[i]
+		}
+		return nil
+	}
+	return o.Seed
+}
+
+// sampleStride is the SampleBound phase-1 sampling interval. The
+// enumeration order is (TP_lm, DP_lm)-major with 16 (w_me, w_mg)
+// combinations innermost, so a stride of 8 lands two probes in every
+// backbone shape's block — enough to bound each shape family tightly
+// while evaluating only ~1/8th of the set unbounded.
+const sampleStride = 8
 
 func (o SearchOptions) workers() int {
 	if o.Parallelism >= 1 {
@@ -172,7 +207,8 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 	}
 	searches := make([]*search, len(specs))
 	type job struct{ spec, cand int }
-	var jobs []job
+	var jobs []job    // bounded fan-out (the only fan-out without SampleBound)
+	var sampled []job // SampleBound phase-1 jobs, evaluated unbounded
 	for i, s := range specs {
 		if err := s.Validate(); err != nil {
 			out[i].Err = err
@@ -182,23 +218,39 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 		se.cands = enumerateCandidates(s, se.n)
 		se.results = make([]*Plan, len(se.cands))
 		searches[i] = se
+		seed := opts.seedFor(i)
+		seeded := -1
+		if seed != nil {
+			seeded = candidateIndex(se.cands, *seed)
+		}
+		if opts.SampleBound {
+			// Phase-1 sample: the seed plus every sampleStride-th
+			// candidate. Deterministic membership, so the phase-2 bound —
+			// and every prune decision — is independent of parallelism.
+			for c := range se.cands {
+				if c == seeded || c%sampleStride == 0 {
+					sampled = append(sampled, job{spec: i, cand: c})
+				} else {
+					jobs = append(jobs, job{spec: i, cand: c})
+				}
+			}
+			continue
+		}
 		// A seed candidate is evaluated synchronously before the fan-out
 		// so its iteration time is a FIXED bound for every worker — no
 		// running best-so-far, hence deterministic prune counts.
-		seeded := -1
-		if opts.Seed != nil && ctx.Err() == nil {
-			if si := candidateIndex(se.cands, *opts.Seed); si >= 0 {
-				seeded = si
-				plan, err := solveSubproblem(s, se.cands[si], se.n, se.replicate, se.floors, math.Inf(1))
-				if err == nil {
-					se.results[si] = plan
-					se.bound = plan.IterTime
-				}
-				se.done.Add(1)
-				if opts.OnCandidate != nil {
-					opts.OnCandidate(se.cands[si], plan, err)
-				}
+		if seeded >= 0 && ctx.Err() == nil {
+			plan, err := solveSubproblem(s, se.cands[seeded], se.n, se.replicate, se.floors, math.Inf(1))
+			if err == nil {
+				se.results[seeded] = plan
+				se.bound = plan.IterTime
 			}
+			se.done.Add(1)
+			if opts.OnCandidate != nil {
+				opts.OnCandidate(se.cands[seeded], plan, err)
+			}
+		} else {
+			seeded = -1
 		}
 		for c := range se.cands {
 			if c != seeded {
@@ -207,13 +259,8 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 		}
 	}
 
-	runWorkers(ctx, opts.workers(), len(jobs), func(j int) {
-		se := searches[jobs[j].spec]
-		c := jobs[j].cand
-		bound := math.Inf(1)
-		if opts.Prune {
-			bound = se.bound
-		}
+	eval := func(specIdx, c int, bound float64) {
+		se := searches[specIdx]
 		plan, err := solveSubproblem(se.spec, se.cands[c], se.n, se.replicate, se.floors, bound)
 		if err == nil {
 			se.results[c] = plan
@@ -224,6 +271,35 @@ func PlanMany(ctx context.Context, specs []Spec, opts SearchOptions) []PlanResul
 		if opts.OnCandidate != nil {
 			opts.OnCandidate(se.cands[c], plan, err)
 		}
+	}
+
+	if opts.SampleBound {
+		runWorkers(ctx, opts.workers(), len(sampled), func(j int) {
+			eval(sampled[j].spec, sampled[j].cand, math.Inf(1))
+		})
+		// Phase barrier: the fastest feasible sampled time is each
+		// spec's fixed phase-2 bound. It is achievable by construction,
+		// so pruning against it is exactly as conservative as pruning
+		// against a seed's iteration time.
+		for _, se := range searches {
+			if se == nil {
+				continue
+			}
+			for _, p := range se.results {
+				if p != nil && p.IterTime < se.bound {
+					se.bound = p.IterTime
+				}
+			}
+		}
+	}
+
+	runWorkers(ctx, opts.workers(), len(jobs), func(j int) {
+		se := searches[jobs[j].spec]
+		bound := math.Inf(1)
+		if opts.Prune || opts.SampleBound {
+			bound = se.bound
+		}
+		eval(jobs[j].spec, jobs[j].cand, bound)
 	})
 
 	for i, se := range searches {
@@ -248,8 +324,20 @@ type PlanResult struct {
 	Plan *Plan
 	Err  error
 	// Pruned counts candidates the branch-and-bound bound skipped;
-	// always zero unless SearchOptions.Seed and Prune were both set.
+	// always zero unless a seed (Seed or Seeds) and Prune were both
+	// set, or SampleBound was.
 	Pruned int
+}
+
+// CandidateCount returns the size of a spec's §4.3 strategy set — the
+// number of subproblems a cold search must cover. The fleet runtime's
+// costed planning-latency model divides it by a per-round budget to
+// derive a deterministic plan-landing round. Invalid specs count zero.
+func CandidateCount(s Spec) int {
+	if s.Validate() != nil {
+		return 0
+	}
+	return len(enumerateCandidates(s, s.maxGPUs()))
 }
 
 // runWorkers evaluates eval(0..n-1) on a pool of the given size,

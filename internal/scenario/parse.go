@@ -23,13 +23,14 @@ import (
 //	node-join:iter=6,node=2
 //	priority-arrive:iter=2,job=1,class=high
 //	preempt-storm:iter=3,job=0,class=high,count=3
+//	herd:iter=0,job=0,count=8
 //	random-stragglers:seed=7,ranks=8,prob=0.3,max=3
 //
 // Iteration windows are inclusive (`iters=2-5` covers 2,3,4,5);
 // `iter=N` is shorthand for a single iteration (and the only form the
 // fire-once kinds — failure, producer-fail, producer-join, and the
 // fleet-scope job-arrive / job-depart / node-fail / node-join /
-// priority-arrive / preempt-storm — accept; for fleet kinds `iter` is
+// priority-arrive / preempt-storm / herd — accept; for fleet kinds `iter` is
 // a fleet scheduling round, and producer-fail / producer-join are
 // dual-scope: in a fleet scenario they address the fleet-shared
 // producer tier and `iter` is likewise a round). Each kind accepts only the keys that
@@ -37,12 +38,13 @@ import (
 // `factor` to the windowed kinds; `downtime` to failure; `producer`
 // to producer-fail / producer-join; `job` to the job arrival and
 // departure kinds; `node` to node-fail / node-join; `class` to
-// priority-arrive / preempt-storm; `count` to preempt-storm.
+// priority-arrive / preempt-storm; `count` to preempt-storm and herd.
 // Duplicate keys are rejected. `rank`/`stage` default to -1 (all);
 // `factor` defaults to 2; failure `downtime` defaults to 30 simulated
 // seconds; `producer`, `job` and `node` default to 0;
 // priority-arrive `class` defaults to the job spec's own class while
-// preempt-storm defaults to high with `count` 2.
+// preempt-storm defaults to high with `count` 2; herd inherits the
+// spec's class and also defaults `count` to 2.
 // `random-stragglers` must be the only event in its spec — it is a
 // generator, not a timed event.
 //
@@ -132,6 +134,7 @@ var eventKeys = map[Kind]string{
 	FleetNodeJoin:     "node",
 	PriorityArrive:    "job class",
 	PreemptStorm:      "job class count",
+	Herd:              "job count",
 }
 
 func keyAllowed(k Kind, key string) bool {
@@ -174,6 +177,9 @@ func parseEvent(kind string, kvs map[string]string) (Event, error) {
 	case "preempt-storm":
 		e.Kind = PreemptStorm
 		e.Class = "high"
+		e.Count = 2
+	case "herd":
+		e.Kind = Herd
 		e.Count = 2
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)

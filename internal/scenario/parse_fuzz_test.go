@@ -37,6 +37,11 @@ func FuzzScenarioParse(f *testing.F) {
 		"preempt-storm:iter=3,job=0,class=high,count=3",
 		"preempt-storm:iter=1,job=2",
 		"priority-arrive:iter=0,job=0,class=low; preempt-storm:iter=2,job=1,count=4",
+		// Herd admission bursts.
+		"herd:iter=0,job=0,count=4",
+		"herd:iter=1,job=0",
+		"herd:iter=1,job=0,count=0",
+		"herd:iter=1,job=0,class=high",
 		// Priority near-misses: bad class, zero/huge storm, wrong keys.
 		"priority-arrive:iter=1,job=0,class=urgent",
 		"preempt-storm:iter=1,job=0,count=0",

@@ -94,6 +94,12 @@ const (
 	// burst of urgent work that forces a priority scheduler to
 	// preempt lower-class tenants. Fleet scope; fires once.
 	PreemptStorm
+	// Herd submits Count near-identical instances of fleet job spec
+	// Job at round Start, each at the spec's own priority class — the
+	// thundering-herd admission burst of §7: K tenants whose plan
+	// searches share one §4.3 fingerprint, so a coalescing plan cache
+	// pays exactly one search. Fleet scope; fires once.
+	Herd
 )
 
 func (k Kind) String() string {
@@ -124,6 +130,8 @@ func (k Kind) String() string {
 		return "priority-arrive"
 	case PreemptStorm:
 		return "preempt-storm"
+	case Herd:
+		return "herd"
 	}
 	return fmt.Sprintf("scenario.Kind(%d)", int(k))
 }
@@ -140,7 +148,7 @@ func (k Kind) fireOnce() bool {
 // events; internal/fleet consumes them through FleetEvents.
 func (k Kind) FleetScope() bool {
 	switch k {
-	case JobArrive, JobDepart, FleetNodeFail, FleetNodeJoin, PriorityArrive, PreemptStorm:
+	case JobArrive, JobDepart, FleetNodeFail, FleetNodeJoin, PriorityArrive, PreemptStorm, Herd:
 		return true
 	}
 	return false
@@ -183,8 +191,8 @@ type Event struct {
 	// (internal/fleet.ParseClass); validation here pins the same set
 	// so a spec that parses cannot fail fleet-side.
 	Class string
-	// Count is how many instances a PreemptStorm submits, in [1,
-	// MaxStormCount].
+	// Count is how many instances a PreemptStorm or Herd submits, in
+	// [1, MaxStormCount].
 	Count int
 }
 
@@ -194,14 +202,14 @@ type Event struct {
 // +Inf), so validation rejects them — a bound the fuzzer leans on.
 const MaxFactor = 1e9
 
-// MaxStormCount bounds PreemptStorm fan-out: each instance becomes a
+// MaxStormCount bounds PreemptStorm and Herd fan-out: each instance becomes a
 // real fleet tenant, so an absurd count turns one event into a denial
 // of service. Real bursts sit far below this.
 const MaxStormCount = 256
 
 // Validate checks one event.
 func (e Event) Validate() error {
-	if e.Kind < Straggler || e.Kind > PreemptStorm {
+	if e.Kind < Straggler || e.Kind > Herd {
 		return fmt.Errorf("scenario: unknown kind %d", int(e.Kind))
 	}
 	if e.Start < 0 {
@@ -227,7 +235,7 @@ func (e Event) Validate() error {
 	if (e.Kind == ProducerFail || e.Kind == ProducerJoin) && e.Producer < 0 {
 		return fmt.Errorf("scenario: %s producer %d negative", e.Kind, e.Producer)
 	}
-	if (e.Kind == JobArrive || e.Kind == JobDepart || e.Kind == PriorityArrive || e.Kind == PreemptStorm) && e.Job < 0 {
+	if (e.Kind == JobArrive || e.Kind == JobDepart || e.Kind == PriorityArrive || e.Kind == PreemptStorm || e.Kind == Herd) && e.Job < 0 {
 		return fmt.Errorf("scenario: %s job %d negative", e.Kind, e.Job)
 	}
 	if e.Kind == PriorityArrive || e.Kind == PreemptStorm {
@@ -237,7 +245,7 @@ func (e Event) Validate() error {
 			return fmt.Errorf("scenario: %s class %q (want low, normal or high)", e.Kind, e.Class)
 		}
 	}
-	if e.Kind == PreemptStorm && (e.Count < 1 || e.Count > MaxStormCount) {
+	if (e.Kind == PreemptStorm || e.Kind == Herd) && (e.Count < 1 || e.Count > MaxStormCount) {
 		return fmt.Errorf("scenario: %s count %d must be in [1, %d]", e.Kind, e.Count, MaxStormCount)
 	}
 	if (e.Kind == FleetNodeFail || e.Kind == FleetNodeJoin) && e.Node < 0 {

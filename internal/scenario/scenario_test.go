@@ -520,3 +520,55 @@ func TestParsePriorityEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestParseHerdEvents covers the herd grammar: Count near-identical
+// arrivals of one job spec at one round, class inherited from the
+// spec (herd takes no class key — a classed burst is a preempt-storm).
+func TestParseHerdEvents(t *testing.T) {
+	sc, err := Parse("herd:iter=0,job=1,count=6; herd:iter=2,job=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, ok := sc.(*Schedule)
+	if !ok {
+		t.Fatalf("Parse returned %T, want *Schedule", sc)
+	}
+	evs := sched.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	want := []struct {
+		job, count int
+	}{
+		{1, 6},
+		{0, 2}, // count defaults to 2
+	}
+	for i, w := range want {
+		e := evs[i]
+		if e.Kind != Herd || e.Job != w.job || e.Class != "" || e.Count != w.count {
+			t.Errorf("event %d = %+v, want herd job %d class \"\" count %d", i, e, w.job, w.count)
+		}
+	}
+	if !Herd.FleetScope() || !Herd.fireOnce() {
+		t.Error("herd should be fleet-scope and fire-once")
+	}
+	if got := At(sc, 0).FleetEvents(); len(got) != 1 || got[0].Kind != Herd {
+		t.Errorf("FleetEvents at round 0 = %v, want one herd", got)
+	}
+	if !At(sc, 0).Steady() {
+		t.Error("herd events perturbed a training iteration")
+	}
+
+	for _, bad := range []string{
+		"herd:iter=1,job=0,count=0",    // needs at least one arrival
+		"herd:iter=1,job=0,count=1000", // beyond MaxStormCount
+		"herd:iters=1-3,job=0",         // fire-once rejects windows
+		"herd:iter=1,job=0,class=high", // class belongs to preempt-storm
+		"herd:iter=1,job=-1",           // negative job
+		"herd:iter=1,job=0,factor=2",   // foreign key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
